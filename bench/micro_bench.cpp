@@ -1,0 +1,108 @@
+// Microbenchmarks of the simulator's hot paths (google-benchmark).
+//
+// These measure *wall-clock* performance of the simulation substrate --
+// event queue, P2M table, frame allocator, page cache, and a full warm
+// reboot -- so regressions in the simulator itself are visible.
+#include <benchmark/benchmark.h>
+
+#include "guest/page_cache.hpp"
+#include "mm/frame_allocator.hpp"
+#include "mm/p2m_table.hpp"
+#include "simcore/event_queue.hpp"
+#include "simcore/random.hpp"
+#include "simcore/simulation.hpp"
+#include "warm_run_support.hpp"
+
+namespace {
+
+using namespace rh;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::Rng rng(1);
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(static_cast<sim::SimTime>(rng.next() % 1000000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_SimulationEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int remaining = 100000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.after(1, tick);
+    };
+    sim.after(1, tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_SimulationEventChain);
+
+void BM_P2mPopulate(benchmark::State& state) {
+  const auto pages = static_cast<mm::Pfn>(state.range(0));
+  for (auto _ : state) {
+    mm::P2mTable t(pages);
+    for (mm::Pfn p = 0; p < pages; ++p) t.add(p, p + 7);
+    benchmark::DoNotOptimize(t.populated());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * pages);
+}
+BENCHMARK(BM_P2mPopulate)->Arg(262144);  // 1 GiB worth of pages
+
+void BM_FrameAllocatorCycle(benchmark::State& state) {
+  mm::FrameAllocator alloc(3145728);  // 12 GiB of frames
+  for (auto _ : state) {
+    const auto frames = alloc.allocate(1, 262144);
+    benchmark::DoNotOptimize(frames.size());
+    alloc.release_all(1);
+  }
+}
+BENCHMARK(BM_FrameAllocatorCycle);
+
+class NullBacking final : public guest::GuestMemoryBacking {
+ public:
+  void mem_write(mm::Pfn pfn, hw::ContentToken token) override {
+    store_[pfn] = token;
+  }
+  [[nodiscard]] hw::ContentToken mem_read(mm::Pfn pfn) const override {
+    const auto it = store_.find(pfn);
+    return it == store_.end() ? hw::kScrubbed : it->second;
+  }
+
+ private:
+  std::unordered_map<mm::Pfn, hw::ContentToken> store_;
+};
+
+void BM_PageCacheLookup(benchmark::State& state) {
+  NullBacking backing;
+  guest::PageCache cache(backing, 0, 16384, 16);
+  for (std::int64_t b = 0; b < 16384; ++b) cache.insert({1, b});
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup({1, i++ % 16384}));
+  }
+}
+BENCHMARK(BM_PageCacheLookup);
+
+void BM_FullWarmReboot(benchmark::State& state) {
+  // Wall-clock cost of simulating one complete warm-VM reboot of a host
+  // with 4 x 1 GiB VMs (setup included).
+  for (auto _ : state) {
+    bench_support::WarmRebootRun run(4);
+    benchmark::DoNotOptimize(run.downtime_seconds);
+  }
+}
+BENCHMARK(BM_FullWarmReboot)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

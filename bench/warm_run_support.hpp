@@ -1,0 +1,20 @@
+// Helper for the full-warm-reboot microbenchmark: one self-contained run.
+#pragma once
+
+#include "bench_util.hpp"
+
+namespace rh::bench_support {
+
+struct WarmRebootRun {
+  double downtime_seconds = 0.0;
+
+  explicit WarmRebootRun(int vms) {
+    rh::bench::Testbed tb;
+    tb.add_vms(vms, rh::sim::kGiB, rh::bench::Testbed::ServiceMix::kSsh);
+    const auto t0 = tb.sim.now();
+    tb.rejuvenate(rh::rejuv::RebootKind::kWarm);
+    downtime_seconds = rh::sim::to_seconds(tb.sim.now() - t0);
+  }
+};
+
+}  // namespace rh::bench_support

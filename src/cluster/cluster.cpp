@@ -1,0 +1,97 @@
+#include "cluster/cluster.hpp"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::cluster {
+
+Cluster::Cluster(sim::Simulation& sim, Config config)
+    : sim_(sim), config_(config) {
+  ensure(config_.hosts >= 1, "Cluster: need at least one host");
+  ensure(config_.vms_per_host >= 1, "Cluster: need at least one VM per host");
+  for (int h = 0; h < config_.hosts; ++h) {
+    hosts_.push_back(std::make_unique<vmm::Host>(
+        sim_, config_.calib, /*seed=*/1000 + static_cast<std::uint64_t>(h)));
+    guests_.emplace_back();
+    for (int v = 0; v < config_.vms_per_host; ++v) {
+      auto g = std::make_unique<guest::GuestOs>(
+          *hosts_.back(),
+          "web-h" + std::to_string(h) + "-v" + std::to_string(v),
+          config_.vm_memory);
+      g->add_service(std::make_unique<guest::ApacheService>());
+      for (int f = 0; f < config_.files_per_vm; ++f) {
+        g->vfs().create_file("doc" + std::to_string(f), config_.file_size);
+      }
+      guests_.back().push_back(std::move(g));
+    }
+  }
+}
+
+vmm::Host& Cluster::host(int i) {
+  ensure(i >= 0 && i < config_.hosts, "Cluster::host: index out of range");
+  return *hosts_[static_cast<std::size_t>(i)];
+}
+
+guest::GuestOs& Cluster::guest(int host, int vm) {
+  ensure(host >= 0 && host < config_.hosts, "Cluster::guest: bad host");
+  ensure(vm >= 0 && vm < config_.vms_per_host, "Cluster::guest: bad vm");
+  return *guests_[static_cast<std::size_t>(host)][static_cast<std::size_t>(vm)];
+}
+
+std::vector<guest::GuestOs*> Cluster::guests_of(int host) {
+  ensure(host >= 0 && host < config_.hosts, "Cluster::guests_of: bad host");
+  std::vector<guest::GuestOs*> out;
+  for (auto& g : guests_[static_cast<std::size_t>(host)]) out.push_back(g.get());
+  return out;
+}
+
+void Cluster::start(std::function<void()> on_ready) {
+  ensure(static_cast<bool>(on_ready), "Cluster::start: callback required");
+  auto remaining =
+      std::make_shared<std::size_t>(static_cast<std::size_t>(config_.hosts) *
+                                    static_cast<std::size_t>(config_.vms_per_host));
+  auto shared_ready = std::make_shared<std::function<void()>>(std::move(on_ready));
+  for (int h = 0; h < config_.hosts; ++h) {
+    hosts_[static_cast<std::size_t>(h)]->instant_start();
+    for (auto& g : guests_[static_cast<std::size_t>(h)]) {
+      guest::GuestOs* os = g.get();
+      os->create_and_boot([this, os, remaining, shared_ready] {
+        auto* apache =
+            static_cast<guest::ApacheService*>(os->find_service("httpd"));
+        std::vector<std::int64_t> files;
+        for (std::size_t f = 0; f < os->vfs().file_count(); ++f) {
+          files.push_back(static_cast<std::int64_t>(f));
+        }
+        balancer_.add_backend({os, apache, std::move(files)});
+        if (--*remaining == 0) (*shared_ready)();
+      });
+    }
+  }
+}
+
+void Cluster::rolling_rejuvenation(rejuv::RebootKind kind,
+                                   std::function<void()> on_done) {
+  ensure(static_cast<bool>(on_done), "rolling_rejuvenation: callback required");
+  durations_.clear();
+  rejuvenate_from(0, kind, std::move(on_done));
+}
+
+void Cluster::rejuvenate_from(std::size_t host_index, rejuv::RebootKind kind,
+                              std::function<void()> on_done) {
+  if (host_index == hosts_.size()) {
+    active_driver_.reset();
+    on_done();
+    return;
+  }
+  active_driver_ = rejuv::make_reboot_driver(
+      kind, *hosts_[host_index], guests_of(static_cast<int>(host_index)));
+  active_driver_->run([this, host_index, kind, on_done = std::move(on_done)]() mutable {
+    durations_.push_back(active_driver_->total_duration());
+    rejuvenate_from(host_index + 1, kind, std::move(on_done));
+  });
+}
+
+}  // namespace rh::cluster

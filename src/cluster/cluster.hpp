@@ -1,0 +1,63 @@
+// A simulated cluster: m full hosts behind a load balancer, with rolling
+// VMM rejuvenation (the Section 6 scenario, simulated rather than only
+// analysed).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/load_balancer.hpp"
+#include "rejuv/reboot_driver.hpp"
+
+namespace rh::cluster {
+
+class Cluster {
+ public:
+  struct Config {
+    int hosts = 3;
+    int vms_per_host = 4;
+    sim::Bytes vm_memory = sim::kGiB;
+    int files_per_vm = 50;
+    sim::Bytes file_size = 512 * sim::kKiB;
+    Calibration calib;
+  };
+
+  Cluster(sim::Simulation& sim, Config config);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Starts every host instantly, then creates and boots all VMs (taking
+  /// simulated time); registers each VM's web server with the balancer.
+  /// `on_ready` fires when every backend answers.
+  void start(std::function<void()> on_ready);
+
+  [[nodiscard]] int host_count() const { return config_.hosts; }
+  [[nodiscard]] vmm::Host& host(int i);
+  [[nodiscard]] guest::GuestOs& guest(int host, int vm);
+  [[nodiscard]] std::vector<guest::GuestOs*> guests_of(int host);
+  [[nodiscard]] LoadBalancer& balancer() { return balancer_; }
+
+  /// Rejuvenates every host's VMM in turn (never two at once), using the
+  /// given reboot strategy. `on_done` fires after the last host is back.
+  void rolling_rejuvenation(rejuv::RebootKind kind, std::function<void()> on_done);
+
+  /// Duration of each host's rejuvenation in the last rolling pass.
+  [[nodiscard]] const std::vector<sim::Duration>& rejuvenation_durations() const {
+    return durations_;
+  }
+
+ private:
+  void rejuvenate_from(std::size_t host_index, rejuv::RebootKind kind,
+                       std::function<void()> on_done);
+
+  sim::Simulation& sim_;
+  Config config_;
+  std::vector<std::unique_ptr<vmm::Host>> hosts_;
+  std::vector<std::vector<std::unique_ptr<guest::GuestOs>>> guests_;
+  LoadBalancer balancer_;
+  std::unique_ptr<rejuv::RebootDriver> active_driver_;
+  std::vector<sim::Duration> durations_;
+};
+
+}  // namespace rh::cluster

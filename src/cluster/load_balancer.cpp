@@ -1,0 +1,69 @@
+#include "cluster/load_balancer.hpp"
+
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::cluster {
+
+void LoadBalancer::add_backend(Backend backend) {
+  ensure(backend.os != nullptr && backend.apache != nullptr,
+         "LoadBalancer: backend needs an OS and a service");
+  ensure(!backend.files.empty(), "LoadBalancer: backend needs content");
+  backends_.push_back({std::move(backend), 0});
+}
+
+std::size_t LoadBalancer::reachable_backends() const {
+  std::size_t n = 0;
+  for (const auto& s : backends_) {
+    if (s.backend.os->service_reachable(*s.backend.apache)) ++n;
+  }
+  return n;
+}
+
+void LoadBalancer::dispatch(std::function<void(bool)> done) {
+  ensure(static_cast<bool>(done), "LoadBalancer::dispatch: callback required");
+  ensure(!backends_.empty(), "LoadBalancer::dispatch: no backends");
+  // Round-robin, skipping unreachable backends.
+  for (std::size_t probe = 0; probe < backends_.size(); ++probe) {
+    Slot& slot = backends_[rr_ % backends_.size()];
+    ++rr_;
+    if (!slot.backend.os->service_reachable(*slot.backend.apache)) continue;
+    const auto file = slot.backend.files[slot.next_file % slot.backend.files.size()];
+    ++slot.next_file;
+    ++dispatched_;
+    slot.backend.apache->serve_file(*slot.backend.os, file, std::move(done));
+    return;
+  }
+  ++rejected_;
+  done(false);
+}
+
+ClusterClientFleet::ClusterClientFleet(sim::Simulation& sim,
+                                       LoadBalancer& balancer, Config config)
+    : sim_(sim), balancer_(balancer), config_(config) {
+  ensure(config.connections > 0, "ClusterClientFleet: need connections");
+}
+
+void ClusterClientFleet::start() {
+  ensure(!started_, "ClusterClientFleet::start: already started");
+  started_ = true;
+  for (int c = 0; c < config_.connections; ++c) issue();
+}
+
+void ClusterClientFleet::stop() { stopped_ = true; }
+
+void ClusterClientFleet::issue() {
+  if (stopped_) return;
+  balancer_.dispatch([this](bool served) {
+    if (stopped_) return;
+    if (served) {
+      completions_.record(sim_.now());
+      issue();
+    } else {
+      sim_.after(config_.retry_interval, [this] { issue(); });
+    }
+  });
+}
+
+}  // namespace rh::cluster

@@ -1,0 +1,81 @@
+// Cluster load balancer and cluster-level client fleet (Section 6).
+//
+// "multiple hosts provide the same service and a load balancer dispatches
+// requests to one of these hosts. Even if some of the hosts are rebooted
+// ... the service downtime is zero" -- but total throughput drops while a
+// host is down. The balancer skips unreachable backends, so the cluster
+// keeps answering during a rolling rejuvenation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "guest/apache.hpp"
+#include "guest/guest_os.hpp"
+#include "simcore/time_series.hpp"
+
+namespace rh::cluster {
+
+class LoadBalancer {
+ public:
+  struct Backend {
+    guest::GuestOs* os = nullptr;
+    guest::ApacheService* apache = nullptr;
+    std::vector<std::int64_t> files;  ///< replicated content on this backend
+  };
+
+  void add_backend(Backend backend);
+
+  [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
+  [[nodiscard]] std::size_t reachable_backends() const;
+
+  /// Dispatches one request round-robin across reachable backends;
+  /// done(false) when no backend is reachable or the chosen backend went
+  /// down mid-request.
+  void dispatch(std::function<void(bool)> done);
+
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  struct Slot {
+    Backend backend;
+    std::size_t next_file = 0;
+  };
+  std::vector<Slot> backends_;
+  std::size_t rr_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// Closed-loop client fleet driving the whole cluster through the
+/// balancer; completions feed the Fig. 9-style throughput timeline.
+class ClusterClientFleet {
+ public:
+  struct Config {
+    int connections = 16;
+    sim::Duration retry_interval = 500 * sim::kMillisecond;
+  };
+
+  ClusterClientFleet(sim::Simulation& sim, LoadBalancer& balancer, Config config);
+  ClusterClientFleet(const ClusterClientFleet&) = delete;
+  ClusterClientFleet& operator=(const ClusterClientFleet&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const sim::RateRecorder& completions() const { return completions_; }
+
+ private:
+  void issue();
+
+  sim::Simulation& sim_;
+  LoadBalancer& balancer_;
+  Config config_;
+  sim::RateRecorder completions_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace rh::cluster

@@ -1,0 +1,83 @@
+#include "cluster/throughput_model.hpp"
+
+#include "simcore/check.hpp"
+
+namespace rh::cluster {
+
+const char* to_string(ClusterStrategy s) {
+  switch (s) {
+    case ClusterStrategy::kWarm: return "warm-VM reboot";
+    case ClusterStrategy::kCold: return "cold-VM reboot";
+    case ClusterStrategy::kLiveMigration: return "live migration";
+  }
+  return "unknown";
+}
+
+ClusterThroughputModel::ClusterThroughputModel(ClusterThroughputParams params)
+    : params_(params) {
+  ensure(params_.hosts >= 2, "ClusterThroughputModel: need >= 2 hosts");
+  ensure(params_.per_host_throughput > 0,
+         "ClusterThroughputModel: throughput must be positive");
+  ensure(params_.cold_cache_delta >= 0.0 && params_.cold_cache_delta <= 1.0,
+         "ClusterThroughputModel: delta out of [0, 1]");
+}
+
+double ClusterThroughputModel::throughput_at(ClusterStrategy strategy,
+                                             double t_s) const {
+  const double m = params_.hosts;
+  const double p = params_.per_host_throughput;
+  switch (strategy) {
+    case ClusterStrategy::kWarm:
+      return (t_s < params_.warm_downtime_s ? m - 1 : m) * p;
+    case ClusterStrategy::kCold:
+      if (t_s < params_.cold_downtime_s) return (m - 1) * p;
+      if (t_s < params_.cold_downtime_s + params_.cold_cache_window_s) {
+        return (m - params_.cold_cache_delta) * p;
+      }
+      return m * p;
+    case ClusterStrategy::kLiveMigration:
+      // One host is always reserved as the migration target; the
+      // migrating host additionally loses `degradation` while it runs.
+      if (t_s < params_.migration_duration_s) {
+        return (m - 1 - params_.migration_degradation) * p;
+      }
+      return (m - 1) * p;
+  }
+  return 0.0;
+}
+
+double ClusterThroughputModel::lost_work(ClusterStrategy strategy,
+                                         double horizon_s) const {
+  const double m = params_.hosts;
+  const double p = params_.per_host_throughput;
+  const double ideal = m * p;
+  switch (strategy) {
+    case ClusterStrategy::kWarm:
+      return params_.warm_downtime_s * p;
+    case ClusterStrategy::kCold:
+      return params_.cold_downtime_s * p +
+             params_.cold_cache_window_s * params_.cold_cache_delta * p;
+    case ClusterStrategy::kLiveMigration: {
+      // Reserved host for the whole horizon + extra loss while migrating.
+      const double migrating =
+          std::min(horizon_s, params_.migration_duration_s);
+      return horizon_s * p + migrating * params_.migration_degradation * p;
+    }
+  }
+  (void)ideal;
+  return 0.0;
+}
+
+std::vector<ClusterThroughputModel::Point> ClusterThroughputModel::series(
+    double horizon_s, double step_s) const {
+  ensure(step_s > 0, "ClusterThroughputModel::series: step must be positive");
+  std::vector<Point> out;
+  for (double t = 0.0; t <= horizon_s; t += step_s) {
+    out.push_back({t, throughput_at(ClusterStrategy::kWarm, t),
+                   throughput_at(ClusterStrategy::kCold, t),
+                   throughput_at(ClusterStrategy::kLiveMigration, t)});
+  }
+  return out;
+}
+
+}  // namespace rh::cluster

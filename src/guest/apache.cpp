@@ -1,0 +1,40 @@
+#include "guest/apache.hpp"
+
+#include <utility>
+
+#include "guest/guest_os.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::guest {
+
+void ApacheService::serve_file(GuestOs& os, std::int64_t file_id,
+                               std::function<void(bool)> done) {
+  ensure(static_cast<bool>(done), "serve_file: callback required");
+  if (!os.service_reachable(*this)) {
+    ++refused_;
+    done(false);
+    return;
+  }
+  const sim::Bytes size = os.vfs().file(file_id).size;
+  os.host().sim().after(kRequestCpu, [this, &os, file_id, size,
+                                      done = std::move(done)]() mutable {
+    os.vfs().read(file_id, [this, &os, size, done = std::move(done)](
+                               const Vfs::ReadResult&) mutable {
+      if (!os.service_reachable(*this)) {
+        ++refused_;
+        done(false);
+        return;
+      }
+      // Response leaves through the host NIC; the Xen creation artifact
+      // (if active) inflates the effective cost.
+      const auto effective = static_cast<sim::Bytes>(
+          static_cast<double>(size) / os.host().throughput_factor());
+      os.host().machine().nic().transmit(effective, [this, done = std::move(done)] {
+        ++served_;
+        done(true);
+      });
+    });
+  });
+}
+
+}  // namespace rh::guest

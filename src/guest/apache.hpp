@@ -1,0 +1,39 @@
+// The Apache web server: serves files through the guest page cache
+// (Figures 7 and 8b).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "guest/service.hpp"
+
+namespace rh::guest {
+
+class ApacheService : public Service {
+ public:
+  ApacheService()
+      : Service({/*name=*/"httpd",
+                 /*start_cpu=*/1 * sim::kSecond,
+                 /*start_io=*/20 * sim::kMiB,
+                 /*stop_wait=*/500 * sim::kMillisecond}) {}
+
+  /// Serves one file: request parsing (CPU), file read through the page
+  /// cache (memory copy or disk), then the response through the host NIC,
+  /// whose effective bandwidth reflects the host's current throughput
+  /// factor. `done(true)` on success; `done(false)` if the service was
+  /// unreachable when the request arrived or went down mid-request.
+  void serve_file(GuestOs& os, std::int64_t file_id,
+                  std::function<void(bool ok)> done);
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  [[nodiscard]] std::uint64_t requests_refused() const { return refused_; }
+
+ private:
+  /// Per-request parsing/dispatch overhead.
+  static constexpr sim::Duration kRequestCpu = 300;  // microseconds
+
+  std::uint64_t served_ = 0;
+  std::uint64_t refused_ = 0;
+};
+
+}  // namespace rh::guest

@@ -1,0 +1,22 @@
+// The JBoss application server: the paper's heavyweight service (Fig. 6b).
+//
+// JBoss's long startup (deploying EARs, initialising subsystems, reading
+// hundreds of MiB of jars) is what makes the cold-VM reboot's downtime
+// grow with the deployed services: warm and saved reboots never restart
+// it, so their downtime is identical to the ssh case.
+#pragma once
+
+#include "guest/service.hpp"
+
+namespace rh::guest {
+
+class JbossService : public Service {
+ public:
+  JbossService()
+      : Service({/*name=*/"jboss",
+                 /*start_cpu=*/16 * sim::kSecond,
+                 /*start_io=*/420 * sim::kMiB,
+                 /*stop_wait=*/2 * sim::kSecond}) {}
+};
+
+}  // namespace rh::guest

@@ -1,0 +1,40 @@
+#include "guest/service.hpp"
+
+#include "guest/guest_os.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::guest {
+
+void Service::start(GuestOs& os, std::function<void()> done) {
+  ensure(static_cast<bool>(done), "Service::start: callback required");
+  ensure(!running_, "Service::start: '" + spec_.name + "' already running");
+  auto finish = [this, &os, done = std::move(done)] {
+    running_ = true;
+    ++generation_;
+    on_started(os);
+    done();
+  };
+  os.host().machine().cpu().run(
+      spec_.start_cpu, [this, &os, finish = std::move(finish)]() mutable {
+        if (spec_.start_io > 0) {
+          os.host().machine().disk().read(spec_.start_io,
+                                          hw::Disk::Access::kSequential,
+                                          std::move(finish));
+        } else {
+          finish();
+        }
+      });
+}
+
+void Service::stop(GuestOs& os, std::function<void()> done) {
+  ensure(static_cast<bool>(done), "Service::stop: callback required");
+  if (!running_) {
+    done();
+    return;
+  }
+  // Listening sockets close first: requests are refused from this moment.
+  running_ = false;
+  os.host().sim().after(spec_.stop_wait, std::move(done));
+}
+
+}  // namespace rh::guest

@@ -1,0 +1,62 @@
+// Base class for services running inside a guest OS.
+//
+// A service's lifecycle (start cost, stop cost) is what differentiates the
+// paper's workloads: sshd starts in under a second, JBoss takes tens of
+// seconds -- which is exactly why the cold-VM reboot's downtime grows with
+// the services deployed (Fig. 6b) while warm/saved reboots, which never
+// restart services, do not.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "simcore/types.hpp"
+
+namespace rh::guest {
+
+class GuestOs;
+
+class Service {
+ public:
+  struct Spec {
+    std::string name;
+    sim::Duration start_cpu = 500 * sim::kMillisecond;
+    sim::Bytes start_io = 0;          ///< disk reads during startup
+    sim::Duration stop_wait = 300 * sim::kMillisecond;
+  };
+
+  explicit Service(Spec spec) : spec_(std::move(spec)) {}
+  virtual ~Service() = default;
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Increments on every (re)start. A TCP connection established against
+  /// generation g receives RST from generation g+1 (state lost).
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Starts the service: CPU (contended) plus startup disk reads.
+  /// Called by GuestOs during boot; `done` fires when the service accepts
+  /// requests.
+  void start(GuestOs& os, std::function<void()> done);
+
+  /// Stops the service gracefully. The service refuses requests from the
+  /// moment stop begins (it closes listening sockets first).
+  void stop(GuestOs& os, std::function<void()> done);
+
+ protected:
+  /// Subclass hook invoked when the service finishes starting.
+  virtual void on_started(GuestOs& os) { (void)os; }
+
+ private:
+  Spec spec_;
+  bool running_ = false;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace rh::guest

@@ -1,0 +1,25 @@
+#include "guest/sshd.hpp"
+
+#include "guest/guest_os.hpp"
+
+namespace rh::guest {
+
+net::SegmentOutcome SshService::segment_outcome(
+    const GuestOs& os, std::uint64_t session_generation) const {
+  // No network path, or the OS is not executing: the segment vanishes and
+  // the client retransmits. This covers suspension, save/restore windows
+  // and the whole VMM reboot.
+  const bool os_executing = os.state() == OsState::kRunning ||
+                            os.state() == OsState::kShuttingDown;
+  if (!os.host().network_path_up() || !os_executing) {
+    return net::SegmentOutcome::kDropped;
+  }
+  // OS is up but the server was stopped gracefully (cold-reboot shutdown
+  // path closes sessions).
+  if (!running()) return net::SegmentOutcome::kFin;
+  // Server is up but has no memory of this session: it was restarted.
+  if (generation() != session_generation) return net::SegmentOutcome::kRst;
+  return net::SegmentOutcome::kAck;
+}
+
+}  // namespace rh::guest

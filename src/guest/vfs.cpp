@@ -1,0 +1,65 @@
+#include "guest/vfs.hpp"
+
+#include <utility>
+
+#include "guest/guest_os.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::guest {
+
+std::int64_t Vfs::create_file(std::string name, sim::Bytes size) {
+  ensure(size > 0, "Vfs::create_file: size must be positive");
+  const auto id = static_cast<std::int64_t>(files_.size());
+  files_.push_back({id, std::move(name), size});
+  return id;
+}
+
+const File& Vfs::file(std::int64_t id) const {
+  ensure(id >= 0 && static_cast<std::size_t>(id) < files_.size(),
+         "Vfs::file: no such file");
+  return files_[static_cast<std::size_t>(id)];
+}
+
+void Vfs::read(std::int64_t file_id, std::function<void(ReadResult)> done) {
+  ensure(static_cast<bool>(done), "Vfs::read: callback required");
+  const File& f = file(file_id);
+  const Calibration& calib = os_.host().calib();
+  const sim::Bytes bs = calib.cache_block_size;
+  const std::int64_t blocks = (f.size + bs - 1) / bs;
+
+  ReadResult result;
+  result.bytes = f.size;
+  std::vector<FileBlock> missing;
+  sim::Bytes miss_bytes = 0;
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const FileBlock key{file_id, b};
+    const sim::Bytes span = std::min(bs, f.size - b * bs);
+    if (os_.cache().lookup(key)) {
+      ++result.hit_blocks;
+    } else {
+      ++result.miss_blocks;
+      missing.push_back(key);
+      miss_bytes += span;
+    }
+  }
+
+  // Cached blocks are copied out of memory; missing blocks are fetched
+  // from the shared host disk (one access, then sequential within the
+  // file) and inserted into the cache.
+  const auto hit_time = sim::transfer_time(result.hit_blocks * bs, calib.mem_copy_bps);
+  os_.host().sim().after(hit_time, [this, result, missing = std::move(missing),
+                                    miss_bytes, done = std::move(done)]() mutable {
+    if (missing.empty()) {
+      done(result);
+      return;
+    }
+    os_.host().machine().disk().read(
+        miss_bytes, hw::Disk::Access::kRandom,
+        [this, result, missing = std::move(missing), done = std::move(done)] {
+          for (const auto& key : missing) os_.cache().insert(key);
+          done(result);
+        });
+  });
+}
+
+}  // namespace rh::guest

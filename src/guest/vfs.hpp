@@ -1,0 +1,58 @@
+// Minimal guest filesystem: named files on the VM's virtual disk, read
+// through the guest page cache.
+//
+// The virtual disk is one physical partition of the host disk (as in the
+// paper's setup), so uncached reads contend with every other VM's I/O.
+// File metadata persists across guest reboots (it lives on disk); cache
+// state does not survive a cold reboot (it lives in frames that get
+// scrubbed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simcore/types.hpp"
+
+namespace rh::guest {
+
+class GuestOs;
+
+struct File {
+  std::int64_t id = 0;
+  std::string name;
+  sim::Bytes size = 0;
+};
+
+class Vfs {
+ public:
+  explicit Vfs(GuestOs& os) : os_(os) {}
+  Vfs(const Vfs&) = delete;
+  Vfs& operator=(const Vfs&) = delete;
+
+  /// Creates a file of the given size; returns its id.
+  std::int64_t create_file(std::string name, sim::Bytes size);
+
+  [[nodiscard]] const File& file(std::int64_t id) const;
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+  struct ReadResult {
+    std::int64_t hit_blocks = 0;
+    std::int64_t miss_blocks = 0;
+    sim::Bytes bytes = 0;
+
+    [[nodiscard]] bool fully_cached() const { return miss_blocks == 0; }
+  };
+
+  /// Reads the whole file through the page cache: cached blocks are served
+  /// at memory-copy speed, missing blocks go to the (shared) host disk and
+  /// are then inserted into the cache. `done` fires at completion.
+  void read(std::int64_t file_id, std::function<void(ReadResult)> done);
+
+ private:
+  GuestOs& os_;
+  std::vector<File> files_;
+};
+
+}  // namespace rh::guest

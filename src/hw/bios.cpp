@@ -1,0 +1,12 @@
+#include "hw/bios.hpp"
+
+namespace rh::hw {
+
+sim::Duration Bios::post_duration(sim::Bytes installed_ram) const {
+  const double gib = sim::to_gib(installed_ram);
+  return model_.post_base + model_.scsi_init +
+         static_cast<sim::Duration>(
+             gib * static_cast<double>(model_.memory_check_per_gib));
+}
+
+}  // namespace rh::hw

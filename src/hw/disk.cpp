@@ -1,0 +1,40 @@
+#include "hw/disk.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::hw {
+
+bool Disk::idle() const { return busy_until_ <= sim_.now(); }
+
+void Disk::read(sim::Bytes size, Access access, std::function<void()> on_done) {
+  bytes_read_ += size;
+  submit(size, access, model_.sequential_read_bps, std::move(on_done));
+}
+
+void Disk::write(sim::Bytes size, Access access, std::function<void()> on_done) {
+  bytes_written_ += size;
+  submit(size, access, model_.sequential_write_bps, std::move(on_done));
+}
+
+void Disk::occupy(sim::Duration service, std::function<void()> on_done) {
+  ensure(service >= 0, "Disk::occupy: negative duration");
+  ensure(static_cast<bool>(on_done), "Disk: completion callback required");
+  const sim::SimTime start = std::max(sim_.now(), busy_until_);
+  busy_until_ = start + service;
+  busy_time_ += service;
+  ++requests_;
+  sim_.at(busy_until_, std::move(on_done));
+}
+
+void Disk::submit(sim::Bytes size, Access access, double bps,
+                  std::function<void()> on_done) {
+  ensure(size >= 0, "Disk: negative transfer size");
+  sim::Duration service = sim::transfer_time(size, bps);
+  if (access == Access::kRandom) service += model_.random_access;
+  occupy(service, std::move(on_done));
+}
+
+}  // namespace rh::hw

@@ -1,0 +1,91 @@
+#include "hw/machine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::hw {
+
+CpuPool::CpuPool(sim::Simulation& sim, int cores) : sim_(sim), cores_(cores) {
+  ensure(cores > 0, "CpuPool: need at least one core");
+}
+
+double CpuPool::current_rate() const {
+  if (tasks_.empty()) return 1.0;
+  return std::min(1.0, static_cast<double>(cores_) /
+                           static_cast<double>(tasks_.size()));
+}
+
+void CpuPool::settle() {
+  const sim::SimTime now = sim_.now();
+  if (!tasks_.empty() && now > last_settle_) {
+    const double progress =
+        static_cast<double>(now - last_settle_) * current_rate();
+    for (auto& t : tasks_) t.remaining -= progress;
+  }
+  last_settle_ = now;
+}
+
+void CpuPool::reschedule() {
+  if (pending_ != sim::kInvalidEventId) {
+    sim_.cancel(pending_);
+    pending_ = sim::kInvalidEventId;
+  }
+  if (tasks_.empty()) return;
+  double min_remaining = tasks_.front().remaining;
+  for (const auto& t : tasks_) min_remaining = std::min(min_remaining, t.remaining);
+  const auto wall = static_cast<sim::Duration>(
+      std::max(0.0, min_remaining / current_rate()) + 0.5);
+  pending_ = sim_.after(wall, [this] { complete_due(); });
+}
+
+void CpuPool::complete_due() {
+  pending_ = sim::kInvalidEventId;
+  settle();
+  // Collect all tasks that are done (remaining work exhausted, with a
+  // half-microsecond rounding allowance).
+  std::vector<std::function<void()>> finished;
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    if (it->remaining <= 0.75) {
+      finished.push_back(std::move(it->done));
+      it = tasks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+  for (auto& fn : finished) fn();
+}
+
+void CpuPool::run(sim::Duration d, std::function<void()> on_done) {
+  ensure(d >= 0, "CpuPool: negative duration");
+  ensure(static_cast<bool>(on_done), "CpuPool: completion callback required");
+  settle();
+  tasks_.push_back({next_id_++, static_cast<double>(d), std::move(on_done)});
+  reschedule();
+}
+
+Machine::Machine(sim::Simulation& sim, MachineSpec spec)
+    : sim_(sim),
+      spec_(spec),
+      memory_(spec.ram),
+      disk_(sim, spec.disk),
+      ram_disk_(sim, spec.ram_disk),
+      nic_(sim, spec.nic),
+      bios_(spec.bios),
+      cpu_(sim, spec.cpu_cores) {}
+
+void Machine::hardware_reset(std::function<void()> on_post_complete) {
+  ensure(static_cast<bool>(on_post_complete), "Machine: callback required");
+  memory_.power_cycle();
+  power_state_ = PowerState::kPost;
+  ++resets_;
+  sim_.after(bios_.post_duration(spec_.ram), [this, fn = std::move(on_post_complete)] {
+    // Firmware hands off to the boot loader; the software boot path will
+    // call set_running() once an OS/VMM is up.
+    fn();
+  });
+}
+
+}  // namespace rh::hw

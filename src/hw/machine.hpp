@@ -1,0 +1,122 @@
+// The physical machine: RAM, disk, NIC, BIOS and CPU pool.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hw/bios.hpp"
+#include "hw/disk.hpp"
+#include "hw/machine_memory.hpp"
+#include "hw/nic.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::hw {
+
+/// Static configuration of a machine (the paper's testbed by default:
+/// 2x dual-core Opteron 280, 12 GB RAM, one 15 krpm SCSI disk, GbE).
+struct MachineSpec {
+  sim::Bytes ram = 12 * sim::kGiB;
+  int cpu_cores = 4;
+  DiskModel disk;
+  NicModel nic;
+  BiosModel bios;
+  /// Optional battery-backed RAM disk (GIGABYTE i-RAM class: SATA-attached
+  /// DRAM, ~150 MB/s, negligible seek). Used by the saved-VM-reboot
+  /// related-work variant.
+  DiskModel ram_disk{150.0e6, 150.0e6, 50};
+};
+
+/// Processor-sharing CPU model.
+///
+/// All active CPU-bound tasks share `cores` cores fairly: with n > cores
+/// active tasks, each progresses at rate cores/n. Work accounting is
+/// settled at every arrival and departure, so a task's wall-clock duration
+/// correctly reflects the contention over its whole lifetime -- this is
+/// what makes parallel OS boots and service starts (JBoss on 11 VMs over
+/// 4 cores) stretch the way the paper measures.
+class CpuPool {
+ public:
+  CpuPool(sim::Simulation& sim, int cores);
+
+  /// Runs a CPU task of nominal duration `d`; `on_done` fires when its
+  /// work completes under fair sharing.
+  void run(sim::Duration d, std::function<void()> on_done);
+
+  [[nodiscard]] int active_tasks() const { return static_cast<int>(tasks_.size()); }
+  [[nodiscard]] int cores() const { return cores_; }
+
+  /// Per-task progress rate right now (1.0 = full speed).
+  [[nodiscard]] double current_rate() const;
+
+ private:
+  struct Task {
+    std::uint64_t id = 0;
+    double remaining = 0.0;  // microseconds of nominal work left
+    std::function<void()> done;
+  };
+
+  /// Charges elapsed progress to all active tasks.
+  void settle();
+  /// (Re)schedules the completion event for the task finishing first.
+  void reschedule();
+  void complete_due();
+
+  sim::Simulation& sim_;
+  int cores_;
+  std::vector<Task> tasks_;
+  sim::SimTime last_settle_ = 0;
+  sim::EventId pending_ = sim::kInvalidEventId;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Power state of the machine.
+enum class PowerState : std::uint8_t { kOff, kPost, kRunning };
+
+/// Composition of all hardware devices of one physical host.
+class Machine {
+ public:
+  Machine(sim::Simulation& sim, MachineSpec spec);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+
+  [[nodiscard]] MachineMemory& memory() { return memory_; }
+  [[nodiscard]] const MachineMemory& memory() const { return memory_; }
+  [[nodiscard]] Disk& disk() { return disk_; }
+  [[nodiscard]] Disk& ram_disk() { return ram_disk_; }
+  [[nodiscard]] Nic& nic() { return nic_; }
+  [[nodiscard]] const Bios& bios() const { return bios_; }
+  [[nodiscard]] CpuPool& cpu() { return cpu_; }
+
+  [[nodiscard]] PowerState power_state() const { return power_state_; }
+
+  /// Performs a hardware reset: memory contents are destroyed, then the
+  /// machine goes through POST; `on_post_complete` fires when firmware
+  /// hands control to the boot loader.
+  void hardware_reset(std::function<void()> on_post_complete);
+
+  /// Marks the machine as running (firmware handed off). Called by the
+  /// boot path; also the initial state for convenience.
+  void set_running() { power_state_ = PowerState::kRunning; }
+
+  /// Count of hardware resets performed (for tests/benches).
+  [[nodiscard]] std::uint64_t reset_count() const { return resets_; }
+
+ private:
+  sim::Simulation& sim_;
+  MachineSpec spec_;
+  MachineMemory memory_;
+  Disk disk_;
+  Disk ram_disk_;
+  Nic nic_;
+  Bios bios_;
+  CpuPool cpu_;
+  PowerState power_state_ = PowerState::kRunning;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace rh::hw

@@ -1,0 +1,22 @@
+#include "hw/nic.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::hw {
+
+void Nic::transmit(sim::Bytes size, std::function<void()> on_done) {
+  ensure(size >= 0, "Nic: negative transfer size");
+  ensure(static_cast<bool>(on_done), "Nic: completion callback required");
+  const sim::SimTime start = std::max(sim_.now(), busy_until_);
+  const sim::Duration service =
+      sim::transfer_time(size, model_.bandwidth_bps) + model_.per_packet_overhead;
+  busy_until_ = start + service;
+  bytes_sent_ += size;
+  ++packets_;
+  sim_.at(busy_until_, std::move(on_done));
+}
+
+}  // namespace rh::hw

@@ -1,0 +1,46 @@
+// Network interface model: a shared-bandwidth FIFO link endpoint.
+//
+// The testbed uses gigabit Ethernet (~117 MB/s of usable payload
+// bandwidth). As with the disk, the NIC is a serialising resource: HTTP
+// responses from all VMs on a host share it, which caps cached web-server
+// throughput (Figure 8b's baseline).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "simcore/simulation.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::hw {
+
+struct NicModel {
+  double bandwidth_bps = 117.0e6;                      ///< usable payload bytes/second
+  sim::Duration per_packet_overhead = 50;              ///< microseconds
+};
+
+/// Transmit-side NIC queue; transfers complete in submission order.
+class Nic {
+ public:
+  Nic(sim::Simulation& sim, NicModel model) : sim_(sim), model_(model) {}
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  /// Queues `size` payload bytes for transmission; `on_done` fires when the
+  /// last byte has left the wire.
+  void transmit(sim::Bytes size, std::function<void()> on_done);
+
+  [[nodiscard]] sim::SimTime busy_until() const { return busy_until_; }
+  [[nodiscard]] sim::Bytes bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_; }
+  [[nodiscard]] const NicModel& model() const { return model_; }
+
+ private:
+  sim::Simulation& sim_;
+  NicModel model_;
+  sim::SimTime busy_until_ = 0;
+  sim::Bytes bytes_sent_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace rh::hw

@@ -1,0 +1,32 @@
+#include "mm/balloon.hpp"
+
+#include <algorithm>
+
+namespace rh::mm {
+
+std::int64_t BalloonDriver::inflate(std::int64_t frames) {
+  std::int64_t released = 0;
+  for (Pfn pfn = p2m_.pfn_count() - 1; pfn >= 0 && released < frames; --pfn) {
+    if (!p2m_.is_hole(pfn)) {
+      const hw::FrameNumber mfn = p2m_.remove(pfn);
+      allocator_.release(mfn);
+      ++released;
+    }
+  }
+  return released;
+}
+
+std::int64_t BalloonDriver::deflate(std::int64_t frames) {
+  // Collect target holes first so a failed allocation changes nothing.
+  std::vector<Pfn> holes;
+  for (Pfn pfn = 0; pfn < p2m_.pfn_count() &&
+                    std::int64_t(holes.size()) < frames;
+       ++pfn) {
+    if (p2m_.is_hole(pfn)) holes.push_back(pfn);
+  }
+  const auto got = allocator_.allocate(domain_, static_cast<std::int64_t>(holes.size()));
+  for (std::size_t i = 0; i < holes.size(); ++i) p2m_.add(holes[i], got[i]);
+  return static_cast<std::int64_t>(holes.size());
+}
+
+}  // namespace rh::mm

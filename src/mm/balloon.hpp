@@ -1,0 +1,44 @@
+// Balloon driver model (Waldspurger-style memory overcommit).
+//
+// Section 4.1 of the paper notes the P2M table "can maintain the mapping
+// properly" even when pseudo-physical memory exceeds machine memory due to
+// ballooning. This model exercises exactly that: inflating the balloon
+// removes P2M entries (machine frames go back to the VMM), deflating adds
+// them back, and the table tolerates holes throughout -- including across
+// a warm-VM reboot of a partially-ballooned domain.
+#pragma once
+
+#include "mm/frame_allocator.hpp"
+#include "mm/p2m_table.hpp"
+
+namespace rh::mm {
+
+class BalloonDriver {
+ public:
+  /// Operates on one domain's P2M table, returning frames to / taking
+  /// frames from the shared machine-frame allocator.
+  BalloonDriver(DomainId domain, FrameAllocator& allocator, P2mTable& p2m)
+      : domain_(domain), allocator_(allocator), p2m_(p2m) {}
+
+  /// Inflates the balloon by `frames` pages: the domain gives up that many
+  /// populated pages (highest populated PFNs first). Returns the number
+  /// actually released (bounded by the populated count).
+  std::int64_t inflate(std::int64_t frames);
+
+  /// Deflates by `frames` pages: re-populates holes (lowest PFNs first)
+  /// with freshly allocated machine frames. Throws OutOfMachineMemory if
+  /// the allocator cannot satisfy it. Returns pages re-populated.
+  std::int64_t deflate(std::int64_t frames);
+
+  /// Pages currently ballooned out (holes in the P2M table).
+  [[nodiscard]] std::int64_t ballooned_pages() const {
+    return p2m_.pfn_count() - p2m_.populated();
+  }
+
+ private:
+  DomainId domain_;
+  FrameAllocator& allocator_;
+  P2mTable& p2m_;
+};
+
+}  // namespace rh::mm

@@ -1,0 +1,16 @@
+// Domain identifiers, shared between the memory manager and the VMM.
+#pragma once
+
+#include <cstdint>
+
+namespace rh {
+
+/// Identifies a domain (VM). Domain 0 is the privileged control domain.
+using DomainId = std::int32_t;
+
+inline constexpr DomainId kNoDomain = -1;
+/// Frames owned by the VMM itself (hypervisor text/heap, preserved regions).
+inline constexpr DomainId kVmmOwner = -2;
+inline constexpr DomainId kDomain0 = 0;
+
+}  // namespace rh

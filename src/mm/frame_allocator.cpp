@@ -1,0 +1,108 @@
+#include "mm/frame_allocator.hpp"
+
+#include <string>
+
+#include "simcore/check.hpp"
+
+namespace rh::mm {
+
+FrameAllocator::FrameAllocator(std::int64_t frame_count)
+    : total_(frame_count), free_(frame_count) {
+  ensure(frame_count > 0, "FrameAllocator: no frames");
+  owner_.assign(static_cast<std::size_t>(frame_count), kNoDomain);
+}
+
+void FrameAllocator::check_mfn(hw::FrameNumber mfn) const {
+  ensure(mfn >= 0 && mfn < total_, "FrameAllocator: MFN out of range");
+}
+
+std::vector<hw::FrameNumber> FrameAllocator::allocate(DomainId owner,
+                                                      std::int64_t count) {
+  ensure(owner != kNoDomain, "FrameAllocator::allocate: invalid owner");
+  ensure(count >= 0, "FrameAllocator::allocate: negative count");
+  if (count > free_) {
+    throw OutOfMachineMemory("FrameAllocator: requested " + std::to_string(count) +
+                             " frames, only " + std::to_string(free_) + " free");
+  }
+  std::vector<hw::FrameNumber> out;
+  out.reserve(static_cast<std::size_t>(count));
+  // Next-fit scan from the cursor; wraps at most once.
+  std::int64_t scanned = 0;
+  while (std::int64_t(out.size()) < count && scanned <= total_) {
+    if (cursor_ >= total_) cursor_ = 0;
+    if (owner_[static_cast<std::size_t>(cursor_)] == kNoDomain) {
+      owner_[static_cast<std::size_t>(cursor_)] = owner;
+      out.push_back(cursor_);
+    }
+    ++cursor_;
+    ++scanned;
+  }
+  ensure(std::int64_t(out.size()) == count,
+         "FrameAllocator: free count inconsistent with owner map");
+  free_ -= count;
+  owned_counts_[owner] += count;
+  return out;
+}
+
+void FrameAllocator::claim(DomainId owner, std::span<const hw::FrameNumber> frames) {
+  ensure(owner != kNoDomain, "FrameAllocator::claim: invalid owner");
+  for (const auto mfn : frames) {
+    check_mfn(mfn);
+    ensure(owner_[static_cast<std::size_t>(mfn)] == kNoDomain,
+           "FrameAllocator::claim: frame " + std::to_string(mfn) + " not free");
+  }
+  for (const auto mfn : frames) owner_[static_cast<std::size_t>(mfn)] = owner;
+  free_ -= static_cast<std::int64_t>(frames.size());
+  owned_counts_[owner] += static_cast<std::int64_t>(frames.size());
+}
+
+void FrameAllocator::release(hw::FrameNumber mfn) {
+  check_mfn(mfn);
+  const DomainId owner = owner_[static_cast<std::size_t>(mfn)];
+  ensure(owner != kNoDomain, "FrameAllocator::release: frame already free");
+  owner_[static_cast<std::size_t>(mfn)] = kNoDomain;
+  ++free_;
+  --owned_counts_[owner];
+}
+
+std::int64_t FrameAllocator::release_all(DomainId owner) {
+  std::int64_t freed = 0;
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    if (owner_[i] == owner) {
+      owner_[i] = kNoDomain;
+      ++freed;
+    }
+  }
+  free_ += freed;
+  owned_counts_.erase(owner);
+  return freed;
+}
+
+DomainId FrameAllocator::owner_of(hw::FrameNumber mfn) const {
+  check_mfn(mfn);
+  return owner_[static_cast<std::size_t>(mfn)];
+}
+
+std::int64_t FrameAllocator::owned_frames(DomainId owner) const {
+  const auto it = owned_counts_.find(owner);
+  return it == owned_counts_.end() ? 0 : it->second;
+}
+
+std::vector<hw::FrameNumber> FrameAllocator::frames_owned_by(DomainId owner) const {
+  std::vector<hw::FrameNumber> out;
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    if (owner_[i] == owner) out.push_back(static_cast<hw::FrameNumber>(i));
+  }
+  return out;
+}
+
+std::vector<hw::FrameNumber> FrameAllocator::free_frame_list() const {
+  std::vector<hw::FrameNumber> out;
+  out.reserve(static_cast<std::size_t>(free_));
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    if (owner_[i] == kNoDomain) out.push_back(static_cast<hw::FrameNumber>(i));
+  }
+  return out;
+}
+
+}  // namespace rh::mm

@@ -1,0 +1,67 @@
+// Machine-frame allocator: tracks ownership of every machine page frame.
+//
+// The VMM allocates machine frames to domains at creation, frees them at
+// destruction, and -- after a quick reload -- *re-claims* the exact frames
+// recorded in each suspended domain's P2M table, so the new VMM instance
+// never hands a frozen frame to anyone else and never scrubs it.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/machine_memory.hpp"
+#include "mm/domain_id.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::mm {
+
+/// Thrown when an allocation cannot be satisfied.
+class OutOfMachineMemory : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FrameAllocator {
+ public:
+  explicit FrameAllocator(std::int64_t frame_count);
+
+  /// Allocates `count` free frames to `owner`; throws OutOfMachineMemory if
+  /// fewer than `count` frames are free.
+  std::vector<hw::FrameNumber> allocate(DomainId owner, std::int64_t count);
+
+  /// Claims the exact given frames for `owner`. Every frame must currently
+  /// be free; throws InvariantViolation otherwise. Used after quick reload
+  /// to re-attach preserved memory images.
+  void claim(DomainId owner, std::span<const hw::FrameNumber> frames);
+
+  /// Returns one frame to the free pool. It must be owned.
+  void release(hw::FrameNumber mfn);
+
+  /// Frees every frame owned by `owner`; returns how many were freed.
+  std::int64_t release_all(DomainId owner);
+
+  [[nodiscard]] DomainId owner_of(hw::FrameNumber mfn) const;
+  [[nodiscard]] std::int64_t total_frames() const { return total_; }
+  [[nodiscard]] std::int64_t free_frames() const { return free_; }
+  [[nodiscard]] std::int64_t owned_frames(DomainId owner) const;
+
+  /// All frames currently owned by `owner`, in ascending MFN order.
+  [[nodiscard]] std::vector<hw::FrameNumber> frames_owned_by(DomainId owner) const;
+
+  /// All currently-free frames, in ascending MFN order. Used by the VMM's
+  /// boot-time scrubber.
+  [[nodiscard]] std::vector<hw::FrameNumber> free_frame_list() const;
+
+ private:
+  void check_mfn(hw::FrameNumber mfn) const;
+
+  std::vector<DomainId> owner_;  // indexed by MFN; kNoDomain == free
+  std::int64_t total_ = 0;
+  std::int64_t free_ = 0;
+  std::int64_t cursor_ = 0;  // next-fit allocation cursor
+  std::unordered_map<DomainId, std::int64_t> owned_counts_;
+};
+
+}  // namespace rh::mm

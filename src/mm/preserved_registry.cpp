@@ -1,0 +1,53 @@
+#include "mm/preserved_registry.hpp"
+
+#include <algorithm>
+
+#include "simcore/check.hpp"
+
+namespace rh::mm {
+
+void PreservedRegionRegistry::put(PreservedRegion region) {
+  ensure(!region.name.empty(), "PreservedRegionRegistry: region needs a name");
+  const auto it = regions_.find(region.name);
+  if (it == regions_.end()) order_.push_back(region.name);
+  regions_[region.name] = std::move(region);
+}
+
+const PreservedRegion* PreservedRegionRegistry::find(const std::string& name) const {
+  const auto it = regions_.find(name);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+bool PreservedRegionRegistry::erase(const std::string& name) {
+  const auto it = regions_.find(name);
+  if (it == regions_.end()) return false;
+  regions_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), name), order_.end());
+  return true;
+}
+
+std::vector<std::string> PreservedRegionRegistry::names() const { return order_; }
+
+std::vector<hw::FrameNumber> PreservedRegionRegistry::all_frozen_frames() const {
+  std::vector<hw::FrameNumber> out;
+  for (const auto& name : order_) {
+    const auto& r = regions_.at(name);
+    out.insert(out.end(), r.frozen_frames.begin(), r.frozen_frames.end());
+  }
+  return out;
+}
+
+sim::Bytes PreservedRegionRegistry::payload_bytes() const {
+  sim::Bytes total = 0;
+  for (const auto& [name, r] : regions_) {
+    total += static_cast<sim::Bytes>(r.payload.size());
+  }
+  return total;
+}
+
+void PreservedRegionRegistry::clear() {
+  regions_.clear();
+  order_.clear();
+}
+
+}  // namespace rh::mm

@@ -1,0 +1,65 @@
+// Registry of memory regions preserved across a quick reload.
+//
+// This models the contract between the outgoing and incoming VMM
+// instances: the outgoing VMM records (a) metadata payloads -- serialised
+// P2M tables, execution state, domain configuration -- and (b) the set of
+// *frozen* machine frames holding suspended domains' memory images. The
+// incoming VMM, when booted via quick reload, re-reserves everything
+// recorded here before it scrubs free memory.
+//
+// The registry's contents live in RAM: a power cycle (hardware reset)
+// destroys them, a quick reload does not. The Host enforces that tie-in.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/machine_memory.hpp"
+#include "mm/domain_id.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::mm {
+
+/// One preserved region: a metadata payload plus the frozen frames it
+/// governs (empty for pure-metadata regions).
+struct PreservedRegion {
+  std::string name;
+  std::vector<std::byte> payload;
+  std::vector<hw::FrameNumber> frozen_frames;
+};
+
+class PreservedRegionRegistry {
+ public:
+  /// Inserts or replaces a region by name.
+  void put(PreservedRegion region);
+
+  /// Looks up a region; nullptr if absent.
+  [[nodiscard]] const PreservedRegion* find(const std::string& name) const;
+
+  /// Removes a region; returns true if it existed.
+  bool erase(const std::string& name);
+
+  /// All region names, in insertion order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] bool empty() const { return regions_.empty(); }
+  [[nodiscard]] std::size_t size() const { return regions_.size(); }
+
+  /// Union of all regions' frozen frames.
+  [[nodiscard]] std::vector<hw::FrameNumber> all_frozen_frames() const;
+
+  /// Total metadata bytes held (payloads only, not frozen frames).
+  [[nodiscard]] sim::Bytes payload_bytes() const;
+
+  /// Destroys everything (models power loss).
+  void clear();
+
+ private:
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, PreservedRegion> regions_;
+};
+
+}  // namespace rh::mm

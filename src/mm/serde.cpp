@@ -1,0 +1,58 @@
+#include "mm/serde.hpp"
+
+namespace rh::mm {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  for (char c : s) u8(static_cast<std::uint8_t>(c));
+}
+
+void ByteWriter::i64_vector(const std::vector<std::int64_t>& v) {
+  u64(v.size());
+  for (auto x : v) i64(x);
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(buf_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s;
+  s.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.push_back(static_cast<char>(u8()));
+  return s;
+}
+
+std::vector<std::int64_t> ByteReader::i64_vector() {
+  const std::uint64_t n = u64();
+  need(static_cast<std::size_t>(n) * 8);
+  std::vector<std::int64_t> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(i64());
+  return v;
+}
+
+}  // namespace rh::mm

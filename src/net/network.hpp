@@ -1,0 +1,54 @@
+// Point-to-point network link model.
+//
+// Client and server hosts are connected by gigabit Ethernet. The link adds
+// propagation latency; bulk bandwidth is modelled at the NIC (transmit
+// queue) so that all VMs on a host share the host's uplink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "simcore/simulation.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::net {
+
+struct LinkModel {
+  sim::Duration latency = 200;  ///< one-way propagation, microseconds
+  double bulk_bandwidth_bps = 117.0e6;  ///< for link-level bulk transfers
+};
+
+/// A network link: delivers messages after one-way latency, and supports
+/// bulk transfers (used by live migration) that occupy the link FIFO-style.
+class Link {
+ public:
+  Link(sim::Simulation& sim, LinkModel model) : sim_(sim), model_(model) {}
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Delivers a small message (latency only; no bandwidth occupancy).
+  void deliver(std::function<void()> on_delivered);
+
+  /// Transfers `size` bytes over the link; the link is occupied for the
+  /// transfer's duration (subsequent bulk transfers queue behind it).
+  void bulk_transfer(sim::Bytes size, std::function<void()> on_done);
+
+  /// Like bulk_transfer but rate-limited to `bps` (capped at the link's
+  /// own bandwidth). Live migration throttles itself this way.
+  void bulk_transfer_at(sim::Bytes size, double bps,
+                        std::function<void()> on_done);
+
+  [[nodiscard]] sim::Duration latency() const { return model_.latency; }
+  [[nodiscard]] sim::Bytes bulk_bytes_sent() const { return bulk_bytes_; }
+
+  /// Duration a bulk transfer of `size` bytes takes in isolation.
+  [[nodiscard]] sim::Duration bulk_duration(sim::Bytes size) const;
+
+ private:
+  sim::Simulation& sim_;
+  LinkModel model_;
+  sim::SimTime bulk_busy_until_ = 0;
+  sim::Bytes bulk_bytes_ = 0;
+};
+
+}  // namespace rh::net

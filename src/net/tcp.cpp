@@ -1,0 +1,106 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::net {
+
+TcpConnection::TcpConnection(sim::Simulation& sim, Config config,
+                             std::function<SegmentOutcome()> peer)
+    : sim_(sim), config_(config), peer_(std::move(peer)) {
+  ensure(static_cast<bool>(peer_), "TcpConnection: peer callback required");
+  ensure(config_.keepalive_interval > 0, "TcpConnection: keepalive must be > 0");
+  ensure(config_.rto_initial > 0, "TcpConnection: rto_initial must be > 0");
+}
+
+TcpConnection::~TcpConnection() {
+  if (pending_event_ != sim::kInvalidEventId) sim_.cancel(pending_event_);
+}
+
+void TcpConnection::open() {
+  ensure(!opened_, "TcpConnection::open: already opened");
+  opened_ = true;
+  last_ack_ = sim_.now();
+  schedule_keepalive();
+}
+
+void TcpConnection::close() {
+  if (!alive()) return;
+  terminate(TcpState::kClosedLocal);
+}
+
+void TcpConnection::schedule_keepalive() {
+  pending_event_ = sim_.after(config_.keepalive_interval,
+                              [this] { send_segment(/*is_retransmission=*/false); });
+}
+
+void TcpConnection::send_segment(bool is_retransmission) {
+  pending_event_ = sim::kInvalidEventId;
+  if (!alive()) return;
+  ++segments_sent_;
+  if (is_retransmission) ++retransmissions_;
+  // The segment's fate is decided by the server's state when it arrives;
+  // we sample the peer after one round trip and then act on the reply.
+  pending_event_ = sim_.after(config_.round_trip, [this] {
+    pending_event_ = sim::kInvalidEventId;
+    handle_outcome(peer_());
+  });
+}
+
+void TcpConnection::handle_outcome(SegmentOutcome outcome) {
+  if (!alive()) return;
+  switch (outcome) {
+    case SegmentOutcome::kAck: {
+      if (state_ == TcpState::kRecovering) {
+        longest_outage_ = std::max(longest_outage_, sim_.now() - outage_start_);
+        state_ = TcpState::kEstablished;
+      }
+      last_ack_ = sim_.now();
+      schedule_keepalive();
+      return;
+    }
+    case SegmentOutcome::kDropped: {
+      if (state_ == TcpState::kEstablished) {
+        state_ = TcpState::kRecovering;
+        outage_start_ = sim_.now();
+        current_rto_ = config_.rto_initial;
+      }
+      // Client-side timeout: measured from the last successful exchange.
+      if (config_.client_timeout > 0 &&
+          sim_.now() + current_rto_ - last_ack_ > config_.client_timeout) {
+        // The timeout fires while waiting for the next retransmission.
+        pending_event_ =
+            sim_.after(std::max<sim::Duration>(
+                           0, config_.client_timeout - (sim_.now() - last_ack_)),
+                       [this] {
+                         pending_event_ = sim::kInvalidEventId;
+                         terminate(TcpState::kTimedOut);
+                       });
+        return;
+      }
+      pending_event_ = sim_.after(current_rto_, [this] {
+        send_segment(/*is_retransmission=*/true);
+      });
+      current_rto_ = std::min(current_rto_ * 2, config_.rto_max);
+      return;
+    }
+    case SegmentOutcome::kRst:
+      terminate(TcpState::kReset);
+      return;
+    case SegmentOutcome::kFin:
+      terminate(TcpState::kClosedByPeer);
+      return;
+  }
+}
+
+void TcpConnection::terminate(TcpState s) {
+  state_ = s;
+  if (pending_event_ != sim::kInvalidEventId) {
+    sim_.cancel(pending_event_);
+    pending_event_ = sim::kInvalidEventId;
+  }
+}
+
+}  // namespace rh::net

@@ -1,0 +1,45 @@
+#include "rejuv/availability.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "simcore/check.hpp"
+
+namespace rh::rejuv {
+
+double expected_downtime_s(const AvailabilityParams& p) {
+  ensure(p.os_interval > 0 && p.vmm_interval > 0,
+         "availability: intervals must be positive");
+  ensure(p.vmm_interval % p.os_interval == 0,
+         "availability: vmm_interval must be a multiple of os_interval");
+  ensure(p.alpha > 0.0 && p.alpha <= 1.0, "availability: alpha out of (0, 1]");
+  const double k = static_cast<double>(p.vmm_interval) /
+                   static_cast<double>(p.os_interval);
+  const double os_reboots = p.vmm_reboot_includes_os ? k - p.alpha : k;
+  return p.os_downtime_s * os_reboots + p.vmm_downtime_s;
+}
+
+double availability(const AvailabilityParams& p) {
+  const double downtime = expected_downtime_s(p);
+  const double window = sim::to_seconds(p.vmm_interval);
+  return 1.0 - downtime / window;
+}
+
+int count_nines(double avail) {
+  ensure(avail >= 0.0 && avail < 1.0, "count_nines: availability out of [0,1)");
+  int nines = 0;
+  double u = 1.0 - avail;
+  while (u <= 0.1 + 1e-12 && nines < 12) {
+    ++nines;
+    u *= 10.0;
+  }
+  return nines;
+}
+
+std::string format_availability(double avail) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f %%", avail * 100.0);
+  return buf;
+}
+
+}  // namespace rh::rejuv

@@ -1,0 +1,58 @@
+#include "rejuv/downtime_model.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "simcore/check.hpp"
+
+namespace rh::rejuv {
+
+std::string LinearFn::to_string(const std::string& var) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.2f%s %c %.2f", slope, var.c_str(),
+                intercept < 0 ? '-' : '+', std::fabs(intercept));
+  return buf;
+}
+
+double DowntimeModel::d_warm(double n) const {
+  return reboot_vmm.at(n) + resume.at(n);
+}
+
+double DowntimeModel::d_cold(double n, double alpha) const {
+  ensure(alpha > 0.0 && alpha <= 1.0, "DowntimeModel: alpha out of (0, 1]");
+  return reset_hw + reboot_vmm.at(0) + reboot_os.at(n) -
+         reboot_os.at(1) * alpha;
+}
+
+double DowntimeModel::reduction(double n, double alpha) const {
+  return d_cold(n, alpha) - d_warm(n);
+}
+
+LinearFn DowntimeModel::reduction_fn(double alpha) const {
+  // r(n) = reset_hw + reboot_vmm(0) - reboot_vmm(n)
+  //      + reboot_os(n) - reboot_os(1)*alpha - resume(n)
+  LinearFn r;
+  r.slope = reboot_os.slope - reboot_vmm.slope - resume.slope;
+  r.intercept = reset_hw + reboot_os.intercept -
+                reboot_os.at(1) * alpha - resume.intercept;
+  return r;
+}
+
+bool DowntimeModel::always_positive(int max_n, double alpha) const {
+  for (int n = 1; n <= max_n; ++n) {
+    if (reduction(n, alpha) <= 0.0) return false;
+  }
+  return true;
+}
+
+DowntimeModel DowntimeModel::paper() {
+  DowntimeModel m;
+  m.reboot_vmm = {-0.55, 43.0};
+  m.resume = {0.43, -0.07};
+  m.reboot_os = {3.8, 13.0};
+  m.boot = {3.4, 2.8};
+  m.reset_hw = 47.0;
+  return m;
+}
+
+}  // namespace rh::rejuv

@@ -1,0 +1,60 @@
+// The analytic downtime model of Section 3.2, plus the paper's Section 5.6
+// fitted instantiation.
+//
+//   d_w(n) = reboot_vmm(n) + resume(n)
+//   d_c(n) = reset_hw + reboot_vmm(0) + reboot_os(n) - reboot_os(1) * alpha
+//   r(n)   = d_c(n) - d_w(n)
+//
+// All component functions are linear in the number of VMs n; the benches
+// regress them from simulated measurements and instantiate this model,
+// cross-validating the analytic r(n) against directly measured downtimes.
+#pragma once
+
+#include <string>
+
+#include "simcore/stats.hpp"
+
+namespace rh::rejuv {
+
+/// A linear component function f(n) = slope * n + intercept (seconds).
+struct LinearFn {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  [[nodiscard]] double at(double n) const { return slope * n + intercept; }
+  [[nodiscard]] static LinearFn from_fit(const sim::LinearFit& fit) {
+    return {fit.slope, fit.intercept};
+  }
+  [[nodiscard]] std::string to_string(const std::string& var = "n") const;
+};
+
+struct DowntimeModel {
+  LinearFn reboot_vmm;  ///< suspend-point -> dom0 ready, n VMs preserved
+  LinearFn resume;      ///< on-memory suspend + resume of n VMs
+  LinearFn reboot_os;   ///< shut down + boot n OSes in parallel
+  LinearFn boot;        ///< boot n OSes in parallel
+  double reset_hw = 0.0;  ///< hardware reset (POST + boot loader), seconds
+
+  /// Downtime increase of the warm-VM reboot (seconds).
+  [[nodiscard]] double d_warm(double n) const;
+
+  /// Downtime increase of the cold-VM reboot; alpha in (0, 1] is the
+  /// elapsed fraction of the OS-rejuvenation interval (Sec. 3.2).
+  [[nodiscard]] double d_cold(double n, double alpha) const;
+
+  /// Downtime reduced by the warm-VM reboot: r(n) = d_c(n) - d_w(n).
+  [[nodiscard]] double reduction(double n, double alpha) const;
+
+  /// r(n) expressed as a linear function of n for fixed alpha (the paper
+  /// reports r(n) = 3.9 n + 60 - 17 alpha).
+  [[nodiscard]] LinearFn reduction_fn(double alpha) const;
+
+  /// True if the warm-VM reboot wins for every n in [1, max_n] at the
+  /// given alpha (the paper: r(n) always positive for alpha <= 1).
+  [[nodiscard]] bool always_positive(int max_n, double alpha) const;
+
+  /// The constants fitted in the paper's Section 5.6.
+  [[nodiscard]] static DowntimeModel paper();
+};
+
+}  // namespace rh::rejuv

@@ -1,0 +1,119 @@
+#include "rejuv/policy.hpp"
+
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::rejuv {
+
+RejuvenationPolicy::RejuvenationPolicy(vmm::Host& host,
+                                       std::vector<guest::GuestOs*> guests,
+                                       Config config)
+    : host_(host), guests_(std::move(guests)), config_(config) {
+  ensure(config_.os_interval > 0 && config_.vmm_interval > 0,
+         "RejuvenationPolicy: intervals must be positive");
+  os_timers_.assign(guests_.size(), sim::kInvalidEventId);
+}
+
+void RejuvenationPolicy::start() {
+  const sim::SimTime now = host_.sim().now();
+  for (std::size_t i = 0; i < guests_.size(); ++i) {
+    schedule_os(i, now + config_.os_interval +
+                       static_cast<sim::Duration>(i) * config_.os_stagger);
+  }
+  schedule_vmm(now + config_.vmm_interval);
+  if (config_.heap_pressure_threshold > 0.0) {
+    host_.sim().after(config_.heap_check_interval, [this] { check_heap(); });
+  }
+}
+
+void RejuvenationPolicy::schedule_os(std::size_t i, sim::SimTime when) {
+  os_timers_[i] = host_.sim().at(when, [this, i] { run_os_rejuvenation(i); });
+}
+
+void RejuvenationPolicy::run_os_rejuvenation(std::size_t i) {
+  os_timers_[i] = sim::kInvalidEventId;
+  if (vmm_busy_) {
+    // A VMM rejuvenation is running; try again shortly.
+    schedule_os(i, host_.sim().now() + config_.retry_delay);
+    return;
+  }
+  guest::GuestOs& g = *guests_[i];
+  if (g.state() != guest::OsState::kRunning) {
+    schedule_os(i, host_.sim().now() + config_.retry_delay);
+    return;
+  }
+  ++os_busy_count_;
+  const sim::SimTime start = host_.sim().now();
+  g.shutdown([this, i, start, &g] {
+    g.create_and_boot([this, i, start] {
+      --os_busy_count_;
+      ++os_count_;
+      events_.push_back({start, host_.sim().now() - start, /*is_vmm=*/false, i,
+                         /*heap_triggered=*/false});
+      schedule_os(i, host_.sim().now() + config_.os_interval);
+    });
+  });
+}
+
+void RejuvenationPolicy::schedule_vmm(sim::SimTime when) {
+  vmm_timer_ = host_.sim().at(when, [this] {
+    run_vmm_rejuvenation(/*heap_triggered=*/false);
+  });
+}
+
+void RejuvenationPolicy::run_vmm_rejuvenation(bool heap_triggered) {
+  vmm_timer_ = sim::kInvalidEventId;
+  if (vmm_busy_ || os_busy_count_ > 0) {
+    schedule_vmm(host_.sim().now() + config_.retry_delay);
+    return;
+  }
+  // Load-aware deferral: wait for a trough, but not forever.
+  if (config_.load_probe) {
+    if (vmm_due_since_ < 0) vmm_due_since_ = host_.sim().now();
+    const bool overdue =
+        host_.sim().now() - vmm_due_since_ >= config_.max_load_defer;
+    if (!overdue && config_.load_probe() > config_.load_defer_threshold) {
+      ++load_deferrals_;
+      schedule_vmm(host_.sim().now() + config_.retry_delay);
+      return;
+    }
+  }
+  vmm_due_since_ = -1;
+  vmm_busy_ = true;
+  const sim::SimTime start = host_.sim().now();
+  active_driver_ =
+      make_reboot_driver(config_.vmm_reboot_kind, host_, guests_);
+  active_driver_->run([this, start, heap_triggered] {
+    vmm_busy_ = false;
+    ++vmm_count_;
+    events_.push_back({start, host_.sim().now() - start, /*is_vmm=*/true, 0,
+                       heap_triggered});
+    // A cold-VM reboot rebooted every OS, so the OS timers restart from
+    // now (Fig. 2b); warm/saved reboots leave the OS timers untouched.
+    if (config_.vmm_reboot_kind == RebootKind::kCold) {
+      for (std::size_t i = 0; i < guests_.size(); ++i) {
+        if (os_timers_[i] != sim::kInvalidEventId) {
+          host_.sim().cancel(os_timers_[i]);
+        }
+        schedule_os(i, host_.sim().now() + config_.os_interval +
+                           static_cast<sim::Duration>(i) * config_.os_stagger);
+      }
+    }
+    schedule_vmm(host_.sim().now() + config_.vmm_interval);
+  });
+}
+
+void RejuvenationPolicy::check_heap() {
+  if (host_.vmm_running() && !vmm_busy_ &&
+      host_.vmm().heap().pressure() >= config_.heap_pressure_threshold) {
+    if (vmm_timer_ != sim::kInvalidEventId) {
+      host_.sim().cancel(vmm_timer_);
+      vmm_timer_ = sim::kInvalidEventId;
+    }
+    run_vmm_rejuvenation(/*heap_triggered=*/true);
+  }
+  host_.sim().after(config_.heap_check_interval, [this] { check_heap(); });
+}
+
+}  // namespace rh::rejuv

@@ -1,0 +1,123 @@
+// Reboot drivers: the three VMM-rejuvenation strategies of the paper.
+//
+//  - warm-VM reboot  (RootHammer): on-memory suspend + quick reload
+//  - saved-VM reboot (original Xen): save/restore via disk + hardware reset
+//  - cold-VM reboot  (plain): shut down & reboot every OS + hardware reset
+//
+// A driver owns the orchestration Script; its per-step timing records are
+// the operation breakdown the paper superimposes on Figure 7.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "guest/guest_os.hpp"
+#include "simcore/script.hpp"
+#include "vmm/host.hpp"
+
+namespace rh::rejuv {
+
+enum class RebootKind : std::uint8_t { kWarm, kSaved, kCold };
+
+[[nodiscard]] const char* to_string(RebootKind k);
+
+class RebootDriver {
+ public:
+  /// The driver rejuvenates `host`'s VMM; `guests` are the VMs that must
+  /// survive (or be rebooted through) the procedure.
+  RebootDriver(vmm::Host& host, std::vector<guest::GuestOs*> guests);
+  virtual ~RebootDriver() = default;
+  RebootDriver(const RebootDriver&) = delete;
+  RebootDriver& operator=(const RebootDriver&) = delete;
+
+  [[nodiscard]] virtual RebootKind kind() const = 0;
+
+  /// Runs the full rejuvenation cycle. On completion the VMM has been
+  /// rebooted and every guest's services answer again. One-shot.
+  void run(std::function<void()> on_complete);
+
+  [[nodiscard]] bool completed() const { return completed_; }
+  [[nodiscard]] sim::SimTime started_at() const { return started_at_; }
+  [[nodiscard]] sim::SimTime finished_at() const { return finished_at_; }
+  [[nodiscard]] sim::Duration total_duration() const {
+    return finished_at_ - started_at_;
+  }
+
+  /// Per-operation timing breakdown (Fig. 7's superimposed bars).
+  [[nodiscard]] const std::vector<sim::StepRecord>& breakdown() const;
+
+ protected:
+  /// Subclasses append their steps to the script.
+  virtual void build(sim::Script& script) = 0;
+
+  // -------------------------------------------------- shared step bodies
+  using GuestList = std::vector<guest::GuestOs*>;
+
+  /// Resumes guests from preserved in-memory images (parallel; xend
+  /// serialises the per-domain part).
+  void resume_on_memory(const GuestList& guests, std::function<void()> done);
+  /// Saves guests' domains to disk (suspends all immediately; image
+  /// writes serialise on the disk).
+  void save_to_disk(const GuestList& guests, std::function<void()> done);
+  /// Restores guests from their disk images.
+  void restore_from_disk(const GuestList& guests, std::function<void()> done);
+  /// Gracefully shuts down guest OSes (parallel).
+  void shutdown_guests(const GuestList& guests, std::function<void()> done);
+  /// Re-creates and boots guest OSes (parallel; xend/disk serialise).
+  void boot_guests(const GuestList& guests, std::function<void()> done);
+
+  /// Guests whose images can be preserved (everything but driver domains).
+  [[nodiscard]] GuestList suspendable_guests() const;
+  /// Driver domains: must be shut down and rebooted even by warm/saved
+  /// reboots (they cannot be suspended; Sec. 7).
+  [[nodiscard]] GuestList driver_domain_guests() const;
+
+  vmm::Host& host_;
+  GuestList guests_;
+
+ private:
+  std::unique_ptr<sim::Script> script_;
+  bool started_ = false;
+  bool completed_ = false;
+  sim::SimTime started_at_ = 0;
+  sim::SimTime finished_at_ = 0;
+};
+
+/// Warm-VM reboot: the paper's contribution.
+class WarmVmReboot final : public RebootDriver {
+ public:
+  using RebootDriver::RebootDriver;
+  [[nodiscard]] RebootKind kind() const override { return RebootKind::kWarm; }
+
+ protected:
+  void build(sim::Script& script) override;
+};
+
+/// Saved-VM reboot: Xen's disk-backed suspend/resume around a hardware
+/// reset (the paper's slow baseline).
+class SavedVmReboot final : public RebootDriver {
+ public:
+  using RebootDriver::RebootDriver;
+  [[nodiscard]] RebootKind kind() const override { return RebootKind::kSaved; }
+
+ protected:
+  void build(sim::Script& script) override;
+};
+
+/// Cold-VM reboot: a plain reboot of everything (the paper's "normal
+/// reboot" baseline).
+class ColdVmReboot final : public RebootDriver {
+ public:
+  using RebootDriver::RebootDriver;
+  [[nodiscard]] RebootKind kind() const override { return RebootKind::kCold; }
+
+ protected:
+  void build(sim::Script& script) override;
+};
+
+/// Factory by kind.
+[[nodiscard]] std::unique_ptr<RebootDriver> make_reboot_driver(
+    RebootKind kind, vmm::Host& host, std::vector<guest::GuestOs*> guests);
+
+}  // namespace rh::rejuv

@@ -1,0 +1,24 @@
+// Invariant checking helpers.
+//
+// Per the C++ Core Guidelines (I.6/I.8, E.12) we express preconditions and
+// invariants as checked expressions that throw on violation. Exceptions
+// (rather than abort) let tests assert that violations are detected.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rh {
+
+/// Thrown when a simulator invariant or precondition is violated.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws InvariantViolation with `message` unless `condition` holds.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw InvariantViolation(message);
+}
+
+}  // namespace rh

@@ -1,0 +1,64 @@
+#include "simcore/event_queue.hpp"
+
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::sim {
+
+EventId EventQueue::push(SimTime t, std::function<void()> fn) {
+  ensure(static_cast<bool>(fn), "EventQueue::push: callback must not be empty");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId) return false;
+  // An id is "pending" if it was issued and is not already cancelled. We do
+  // not track popped ids individually; callers only cancel ids they own and
+  // have not yet seen fire, so double-cancel of a fired event is benign.
+  return cancelled_.insert(id).second;
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  skip_cancelled();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::size() const {
+  // Upper bound adjusted for not-yet-skipped tombstones: exact because each
+  // cancelled id corresponds to exactly one heap entry.
+  return heap_.size() - cancelled_.size();
+}
+
+SimTime EventQueue::next_time() const {
+  skip_cancelled();
+  ensure(!heap_.empty(), "EventQueue::next_time: queue is empty");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skip_cancelled();
+  ensure(!heap_.empty(), "EventQueue::pop: queue is empty");
+  // priority_queue::top() returns const&; the callback must be moved out, so
+  // we const_cast the owned entry. The entry is popped immediately after.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, top.id, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  cancelled_.clear();
+}
+
+}  // namespace rh::sim

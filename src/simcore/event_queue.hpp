@@ -1,0 +1,75 @@
+// Priority queue of timed events with stable FIFO ordering and cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/types.hpp"
+
+namespace rh::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Min-heap of events keyed by (time, insertion sequence).
+///
+/// Two events scheduled for the same instant fire in the order they were
+/// scheduled (FIFO), which keeps simulations deterministic. Cancellation is
+/// lazy: cancelled ids are skipped at pop time.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`; returns a handle for cancel().
+  EventId push(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest live event's callback and time.
+  /// Precondition: !empty().
+  struct Popped {
+    SimTime time = 0;
+    EventId id = kInvalidEventId;
+    std::function<void()> fn;
+  };
+  Popped pop();
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    EventId id = kInvalidEventId;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+};
+
+}  // namespace rh::sim

@@ -1,0 +1,74 @@
+#include "simcore/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "simcore/check.hpp"
+
+namespace rh::sim {
+
+std::size_t LatencyHistogram::bucket_of(Duration d) {
+  if (d < 1) d = 1;
+  const auto u = static_cast<std::uint64_t>(d);
+  // 2 buckets per octave: bucket = 2*floor(log2 u) + [u in upper half].
+  const int log2 = std::bit_width(u) - 1;
+  const std::uint64_t base = std::uint64_t{1} << log2;
+  const std::size_t bucket =
+      2 * static_cast<std::size_t>(log2) + ((u - base) * 2 >= base ? 1 : 0);
+  return std::min(bucket, kBuckets - 1);
+}
+
+Duration LatencyHistogram::bucket_upper(std::size_t bucket) {
+  const auto log2 = bucket / 2;
+  const std::uint64_t base = std::uint64_t{1} << log2;
+  return static_cast<Duration>(bucket % 2 == 0 ? base + base / 2 : base * 2);
+}
+
+void LatencyHistogram::add(Duration latency) {
+  ensure(latency >= 0, "LatencyHistogram: negative latency");
+  if (count_ == 0) {
+    min_ = max_ = latency;
+  } else {
+    min_ = std::min(min_, latency);
+    max_ = std::max(max_, latency);
+  }
+  ++buckets_[bucket_of(latency)];
+  ++count_;
+  sum_ += static_cast<double>(latency);
+}
+
+Duration LatencyHistogram::percentile(double p) const {
+  ensure(p >= 0.0 && p <= 100.0, "LatencyHistogram: percentile out of range");
+  if (count_ == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return std::min(bucket_upper(b), max_);
+  }
+  return max_;
+}
+
+void LatencyHistogram::clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace rh::sim

@@ -1,0 +1,52 @@
+// Log-bucketed latency histogram.
+//
+// Client fleets record per-request latencies here; benches report
+// percentiles (p50/p99) alongside throughput, which exposes effects mean
+// throughput hides -- e.g. after a cold reboot every request pays a disk
+// seek, which multiplies tail latency even once throughput looks healthy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "simcore/types.hpp"
+
+namespace rh::sim {
+
+/// Histogram over Durations with logarithmic buckets (2 buckets/octave,
+/// from 1 µs up to ~1 hour). Memory-constant, O(1) insert, percentile
+/// queries accurate to ~±35 % of the value (half an octave).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(Duration latency);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] Duration min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] Duration max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Value at percentile p in [0, 100] (upper bound of the bucket holding
+  /// the rank). 0 when empty.
+  [[nodiscard]] Duration percentile(double p) const;
+
+  void clear();
+
+  /// Merges another histogram into this one.
+  void merge(const LatencyHistogram& other);
+
+ private:
+  static std::size_t bucket_of(Duration d);
+  static Duration bucket_upper(std::size_t bucket);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  Duration min_ = 0;
+  Duration max_ = 0;
+};
+
+}  // namespace rh::sim

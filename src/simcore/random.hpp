@@ -1,0 +1,72 @@
+// Deterministic, seedable random number generation (xoshiro256**).
+//
+// The standard library's distributions are not guaranteed to produce the
+// same sequences across implementations, so we implement both the engine
+// and the distributions ourselves: simulations must be reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "simcore/types.hpp"
+
+namespace rh::sim {
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high quality, 2^256 period.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Exponential Duration with the given mean, clamped to >= 0.
+  Duration exponential_duration(Duration mean);
+
+  /// Normal Duration clamped to >= min_value.
+  Duration normal_duration(Duration mean, Duration stddev, Duration min_value = 0);
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniformly picks an index in [0, size). Precondition: size > 0.
+  std::size_t index(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Splits off an independently-seeded child generator. Deterministic:
+  /// the child's seed depends only on this generator's current state.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  // Cached second value from Box-Muller.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace rh::sim

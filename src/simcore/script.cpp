@@ -1,0 +1,72 @@
+#include "simcore/script.hpp"
+
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::sim {
+
+Script& Script::step(std::string label, SyncStep fn) {
+  ensure(!running_, "Script::step: cannot add steps while running");
+  ensure(static_cast<bool>(fn), "Script::step: empty step");
+  return step_async(std::move(label),
+                    [this, fn = std::move(fn)](std::function<void()> done) {
+                      const Duration d = fn();
+                      ensure(d >= 0, "Script: step returned negative duration");
+                      sim_.after(d, std::move(done));
+                    });
+}
+
+Script& Script::step_async(std::string label, AsyncStep fn) {
+  ensure(!running_, "Script::step_async: cannot add steps while running");
+  ensure(static_cast<bool>(fn), "Script::step_async: empty step");
+  steps_.push_back({std::move(label), std::move(fn)});
+  return *this;
+}
+
+Script& Script::pause(std::string label, Duration d) {
+  ensure(d >= 0, "Script::pause: negative duration");
+  return step(std::move(label), [d] { return d; });
+}
+
+void Script::run(std::function<void()> on_complete) {
+  ensure(!running_, "Script::run: already running");
+  ensure(!steps_.empty(), "Script::run: no steps");
+  running_ = true;
+  completed_ = false;
+  records_.clear();
+  on_complete_ = std::move(on_complete);
+  run_step(0);
+}
+
+void Script::run_step(std::size_t i) {
+  if (i == steps_.size()) {
+    running_ = false;
+    completed_ = true;
+    if (on_complete_) {
+      // Move out first: the completion callback may destroy this Script.
+      auto done = std::move(on_complete_);
+      done();
+    }
+    return;
+  }
+  records_.push_back({steps_[i].label, sim_.now(), sim_.now()});
+  steps_[i].fn([this, i] {
+    records_[i].end = sim_.now();
+    run_step(i + 1);
+  });
+}
+
+const StepRecord& Script::record(const std::string& label) const {
+  for (const auto& r : records_) {
+    if (r.label == label) return r;
+  }
+  throw InvariantViolation("Script::record: no step labelled '" + label + "'");
+}
+
+Duration Script::total_duration() const {
+  ensure(completed_, "Script::total_duration: run not complete");
+  return records_.back().end - records_.front().start;
+}
+
+}  // namespace rh::sim

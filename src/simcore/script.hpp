@@ -1,0 +1,88 @@
+// Sequential orchestration of multi-step procedures in simulated time.
+//
+// Reboot procedures (shut down domain 0 -> quick reload -> resume VMs, ...)
+// are sequences of steps, some with computed durations and some completing
+// asynchronously (e.g. when a disk transfer finishes). Script runs the
+// steps in order and records each step's [start, end] window, which is
+// exactly the "breakdown of the downtime" the paper's Figure 7 reports.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simcore/simulation.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::sim {
+
+/// Timing record of one executed step.
+struct StepRecord {
+  std::string label;
+  SimTime start = 0;
+  SimTime end = 0;
+
+  [[nodiscard]] Duration duration() const { return end - start; }
+};
+
+/// An ordered list of named steps executed back-to-back in simulated time.
+///
+/// The Script object must outlive the run; reboot drivers own theirs.
+class Script {
+ public:
+  /// A step that performs its work instantly and returns how long the step
+  /// occupies in simulated time.
+  using SyncStep = std::function<Duration()>;
+
+  /// A step that completes asynchronously; it must eventually invoke the
+  /// provided continuation exactly once (at the step's end time).
+  using AsyncStep = std::function<void(std::function<void()> done)>;
+
+  explicit Script(Simulation& sim) : sim_(sim) {}
+  Script(const Script&) = delete;
+  Script& operator=(const Script&) = delete;
+
+  /// Appends a synchronous step.
+  Script& step(std::string label, SyncStep fn);
+
+  /// Appends an asynchronous step.
+  Script& step_async(std::string label, AsyncStep fn);
+
+  /// Appends a fixed-duration pause.
+  Script& pause(std::string label, Duration d);
+
+  /// Starts executing from the first step; `on_complete` fires after the
+  /// last step ends. Must not already be running; may be re-run afterwards
+  /// (records are cleared at each start).
+  void run(std::function<void()> on_complete);
+
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Per-step timing of the most recent (or in-progress) run.
+  [[nodiscard]] const std::vector<StepRecord>& records() const { return records_; }
+
+  /// Record for the step with the given label (first match).
+  /// Precondition: the step exists and has executed.
+  [[nodiscard]] const StepRecord& record(const std::string& label) const;
+
+  /// Total duration from first step start to last step end.
+  /// Precondition: a run has completed.
+  [[nodiscard]] Duration total_duration() const;
+
+ private:
+  struct Step {
+    std::string label;
+    AsyncStep fn;  // sync steps are adapted to async
+  };
+
+  void run_step(std::size_t i);
+
+  Simulation& sim_;
+  std::vector<Step> steps_;
+  std::vector<StepRecord> records_;
+  std::function<void()> on_complete_;
+  bool running_ = false;
+  bool completed_ = false;
+};
+
+}  // namespace rh::sim

@@ -1,0 +1,45 @@
+#include "simcore/simulation.hpp"
+
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::sim {
+
+EventId Simulation::at(SimTime t, std::function<void()> fn) {
+  ensure(t >= now_, "Simulation::at: cannot schedule in the past");
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Simulation::after(Duration delay, std::function<void()> fn) {
+  ensure(delay >= 0, "Simulation::after: negative delay");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  auto ev = queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulation::run_until(SimTime deadline) {
+  ensure(deadline >= now_, "Simulation::run_until: deadline in the past");
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (!stopped_) now_ = deadline;
+}
+
+void Simulation::run_for(Duration d) { run_until(now_ + d); }
+
+}  // namespace rh::sim

@@ -1,0 +1,67 @@
+// The discrete-event simulation driver.
+#pragma once
+
+#include <functional>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::sim {
+
+/// Owns the simulated clock and the event queue, and runs events in order.
+///
+/// All model components hold a reference to one Simulation and schedule
+/// their work through it. Time only advances by running events; there is no
+/// wall-clock coupling, so simulations are deterministic and can cover
+/// weeks of simulated time in milliseconds of real time.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (must be >= now()).
+  EventId at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` from now (delay must be >= 0).
+  EventId after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event; returns true if it had not yet fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue is empty or stop() is called.
+  void run();
+
+  /// Runs events with time <= deadline, then sets now() to `deadline`
+  /// (if the simulation was not stopped earlier).
+  void run_until(SimTime deadline);
+
+  /// Convenience: run_until(now() + d).
+  void run_for(Duration d);
+
+  /// Executes the single earliest event. Returns false if none remain.
+  bool step();
+
+  /// Stops the current run()/run_until() after the current event returns.
+  void stop() { stopped_ = true; }
+
+  /// True when stop() interrupted the last run.
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed so far (for diagnostics and microbenchmarks).
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace rh::sim

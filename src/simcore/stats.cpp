@@ -1,0 +1,94 @@
+#include "simcore/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "simcore/check.hpp"
+
+namespace rh::sim {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::mean() const {
+  ensure(n_ > 0, "Summary::mean: no samples");
+  return mean_;
+}
+
+double Summary::variance() const {
+  ensure(n_ > 1, "Summary::variance: need >= 2 samples");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const {
+  ensure(n_ > 0, "Summary::min: no samples");
+  return min_;
+}
+
+double Summary::max() const {
+  ensure(n_ > 0, "Summary::max: no samples");
+  return max_;
+}
+
+std::string LinearFit::to_string(const std::string& var) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.2f%s %c %.2f", slope, var.c_str(),
+                intercept < 0 ? '-' : '+', std::fabs(intercept));
+  return buf;
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  ensure(x.size() == y.size(), "fit_linear: size mismatch");
+  ensure(x.size() >= 2, "fit_linear: need >= 2 points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  ensure(denom != 0.0, "fit_linear: degenerate x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0.0) {
+    fit.r_squared = 1.0;  // all y identical: the fit is exact
+  } else {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - fit.at(x[i]);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+double percentile(std::vector<double> values, double p) {
+  ensure(!values.empty(), "percentile: no samples");
+  ensure(p >= 0.0 && p <= 100.0, "percentile: p out of range");
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace rh::sim

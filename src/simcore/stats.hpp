@@ -1,0 +1,53 @@
+// Summary statistics and least-squares fitting.
+//
+// Used by the benches to regress simulated measurements into the linear
+// model functions of the paper's Section 5.6 (reboot_vmm(n), resume(n), ...).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rh::sim {
+
+/// Streaming summary statistics (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< Sample variance (n-1).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Result of an ordinary-least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double at(double x) const { return slope * x + intercept; }
+
+  /// Formats like the paper, e.g. "-0.55n + 43".
+  [[nodiscard]] std::string to_string(const std::string& var = "n") const;
+};
+
+/// Ordinary least squares over paired samples. Requires >= 2 points.
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Percentile (nearest-rank) of a sample vector; p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+}  // namespace rh::sim

@@ -1,0 +1,74 @@
+// Time-series recording: sampled values and event-rate series.
+//
+// Figures 7-9 of the paper are time series (throughput over time around a
+// reboot). These recorders collect raw points during a simulation and bin
+// them for reporting.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "simcore/types.hpp"
+
+namespace rh::sim {
+
+/// One (time, value) sample.
+struct Sample {
+  SimTime time = 0;
+  double value = 0.0;
+};
+
+/// A series of timestamped samples with binning/query helpers.
+class TimeSeries {
+ public:
+  void add(SimTime t, double value);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  /// Mean of sample values in [from, to). Empty optional if no samples.
+  [[nodiscard]] std::optional<double> mean_between(SimTime from, SimTime to) const;
+
+  /// Mean value per fixed-width bin over [start, end). Bins with no samples
+  /// hold `fill`.
+  [[nodiscard]] std::vector<Sample> binned_mean(SimTime start, SimTime end,
+                                                Duration bin_width,
+                                                double fill = 0.0) const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;  // kept in insertion (= time) order
+};
+
+/// Counts discrete events (e.g. completed HTTP requests) and reports rates.
+class RateRecorder {
+ public:
+  /// Records `count` events at time t.
+  void record(SimTime t, double count = 1.0);
+
+  [[nodiscard]] double total() const { return total_; }
+
+  /// Events per second within [from, to).
+  [[nodiscard]] double rate_between(SimTime from, SimTime to) const;
+
+  /// Rate series over [start, end) with the given bin width; each sample's
+  /// time is the bin start and value is events/second within the bin.
+  [[nodiscard]] std::vector<Sample> rate_series(SimTime start, SimTime end,
+                                                Duration bin_width) const;
+
+  /// Time of the first recorded event at or after `from`, if any.
+  [[nodiscard]] std::optional<SimTime> first_event_at_or_after(SimTime from) const;
+
+  /// Time of the last recorded event strictly before `before`, if any.
+  [[nodiscard]] std::optional<SimTime> last_event_before(SimTime before) const;
+
+  void clear();
+
+ private:
+  std::vector<Sample> events_;
+  double total_ = 0.0;
+};
+
+}  // namespace rh::sim

@@ -1,0 +1,31 @@
+#include "simcore/trace.hpp"
+
+#include <iomanip>
+
+namespace rh::sim {
+
+void Tracer::emit(SimTime t, std::string category, std::string message) {
+  if (!enabled_) return;
+  if (stream_ != nullptr) {
+    *stream_ << "[" << std::fixed << std::setprecision(3) << to_seconds(t)
+             << "s] " << category << ": " << message << "\n";
+  }
+  records_.push_back({t, std::move(category), std::move(message)});
+}
+
+std::vector<TraceRecord> Tracer::by_category(const std::string& category) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.category == category) out.push_back(r);
+  }
+  return out;
+}
+
+bool Tracer::contains(const std::string& needle) const {
+  for (const auto& r : records_) {
+    if (r.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace rh::sim

@@ -1,0 +1,52 @@
+// Structured tracing of simulation activity.
+//
+// Components emit labelled trace records (category + message) with the
+// simulated timestamp. Tests and benches consume the record list; the
+// examples stream them to stdout to narrate a run.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "simcore/types.hpp"
+
+namespace rh::sim {
+
+/// One trace record.
+struct TraceRecord {
+  SimTime time = 0;
+  std::string category;
+  std::string message;
+};
+
+/// Collects trace records; optionally mirrors them to a stream.
+class Tracer {
+ public:
+  /// Emits a record (no-op when disabled).
+  void emit(SimTime t, std::string category, std::string message);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Mirrors future records to `os` (pass nullptr to stop mirroring).
+  void stream_to(std::ostream* os) { stream_ = os; }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// Records whose category matches exactly.
+  [[nodiscard]] std::vector<TraceRecord> by_category(const std::string& category) const;
+
+  /// True if any record's message contains `needle`.
+  [[nodiscard]] bool contains(const std::string& needle) const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::ostream* stream_ = nullptr;
+  bool enabled_ = true;
+};
+
+}  // namespace rh::sim

@@ -1,0 +1,28 @@
+#include "vmm/calibration.hpp"
+
+#include "simcore/check.hpp"
+
+namespace rh {
+
+void Calibration::validate() const {
+  ensure(machine.ram >= dom0_memory + vmm_reserved_memory,
+         "Calibration: machine RAM cannot hold dom0 + VMM");
+  ensure(machine.cpu_cores > 0, "Calibration: need CPU cores");
+  ensure(machine.disk.sequential_read_bps > 0 && machine.disk.sequential_write_bps > 0,
+         "Calibration: disk throughput must be positive");
+  ensure(machine.nic.bandwidth_bps > 0, "Calibration: NIC bandwidth must be positive");
+  ensure(scrub_bps > 0, "Calibration: scrub rate must be positive");
+  ensure(vmm_heap_size > 0, "Calibration: VMM heap must be positive");
+  ensure(page_cache_fraction > 0.0 && page_cache_fraction <= 1.0,
+         "Calibration: page_cache_fraction out of (0,1]");
+  ensure(cache_block_size >= sim::kPageSize &&
+             cache_block_size % sim::kPageSize == 0,
+         "Calibration: cache block must be a positive multiple of the page size");
+  ensure(mem_copy_bps > 0, "Calibration: memory copy rate must be positive");
+  ensure(xen_save_bps > 0 && xen_restore_bps > 0,
+         "Calibration: save/restore throughput must be positive");
+  ensure(creation_artifact_nic_factor > 0.0 && creation_artifact_nic_factor <= 1.0,
+         "Calibration: artifact NIC factor out of (0,1]");
+}
+
+}  // namespace rh

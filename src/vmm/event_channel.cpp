@@ -1,0 +1,86 @@
+#include "vmm/event_channel.hpp"
+
+#include "simcore/check.hpp"
+
+namespace rh::vmm {
+
+EventPort EventChannelTable::alloc_unbound(DomainId remote) {
+  // Reuse the first closed slot, else grow.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].open) {
+      slots_[i] = {remote, true, false};
+      return static_cast<EventPort>(i);
+    }
+  }
+  slots_.push_back({remote, true, false});
+  return static_cast<EventPort>(slots_.size() - 1);
+}
+
+void EventChannelTable::bind(EventPort port) {
+  ensure(port >= 0 && static_cast<std::size_t>(port) < slots_.size() &&
+             slots_[static_cast<std::size_t>(port)].open,
+         "EventChannelTable::bind: port not open");
+  slots_[static_cast<std::size_t>(port)].bound = true;
+}
+
+void EventChannelTable::close(EventPort port) {
+  ensure(port >= 0 && static_cast<std::size_t>(port) < slots_.size() &&
+             slots_[static_cast<std::size_t>(port)].open,
+         "EventChannelTable::close: port not open");
+  slots_[static_cast<std::size_t>(port)] = {};
+}
+
+bool EventChannelTable::is_bound(EventPort port) const {
+  return port >= 0 && static_cast<std::size_t>(port) < slots_.size() &&
+         slots_[static_cast<std::size_t>(port)].open &&
+         slots_[static_cast<std::size_t>(port)].bound;
+}
+
+std::size_t EventChannelTable::open_ports() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_) n += s.open ? 1 : 0;
+  return n;
+}
+
+std::size_t EventChannelTable::bound_ports() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_) n += (s.open && s.bound) ? 1 : 0;
+  return n;
+}
+
+std::uint64_t EventChannelTable::state_token() const {
+  // FNV-1a over the slot contents.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& s : slots_) {
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.remote)));
+    mix((s.open ? 2u : 0u) | (s.bound ? 1u : 0u));
+  }
+  return h;
+}
+
+void EventChannelTable::serialize(mm::ByteWriter& w) const {
+  w.u64(slots_.size());
+  for (const auto& s : slots_) {
+    w.u32(static_cast<std::uint32_t>(s.remote));
+    w.u8(static_cast<std::uint8_t>((s.open ? 2u : 0u) | (s.bound ? 1u : 0u)));
+  }
+}
+
+EventChannelTable EventChannelTable::deserialize(mm::ByteReader& r) {
+  EventChannelTable t;
+  const std::uint64_t n = r.u64();
+  t.slots_.resize(static_cast<std::size_t>(n));
+  for (auto& s : t.slots_) {
+    s.remote = static_cast<DomainId>(static_cast<std::int32_t>(r.u32()));
+    const std::uint8_t bits = r.u8();
+    s.open = (bits & 2u) != 0;
+    s.bound = (bits & 1u) != 0;
+  }
+  return t;
+}
+
+}  // namespace rh::vmm

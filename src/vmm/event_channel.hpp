@@ -1,0 +1,55 @@
+// Event channels: the Xen-style notification primitive between a domain
+// and the VMM / other domains.
+//
+// The table's state is part of the "shared information" the on-memory
+// suspend mechanism saves (Sec. 4.2); after resume the guest's resume
+// handler re-establishes its channels. We model ports and bindings and
+// derive a state token so tests can verify exact preservation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mm/domain_id.hpp"
+#include "mm/serde.hpp"
+
+namespace rh::vmm {
+
+using EventPort = std::int32_t;
+
+class EventChannelTable {
+ public:
+  /// Allocates an unbound port for communication with `remote`.
+  EventPort alloc_unbound(DomainId remote);
+
+  /// Marks the port as bound (remote end connected).
+  void bind(EventPort port);
+
+  /// Closes the port.
+  void close(EventPort port);
+
+  [[nodiscard]] bool is_bound(EventPort port) const;
+  [[nodiscard]] std::size_t open_ports() const;
+  [[nodiscard]] std::size_t bound_ports() const;
+
+  /// Deterministic hash of the full table state; equal tokens <=> equal
+  /// state for the purposes of preservation checks.
+  [[nodiscard]] std::uint64_t state_token() const;
+
+  void serialize(mm::ByteWriter& w) const;
+  static EventChannelTable deserialize(mm::ByteReader& r);
+
+  bool operator==(const EventChannelTable&) const = default;
+
+ private:
+  struct Slot {
+    DomainId remote = kNoDomain;
+    bool open = false;
+    bool bound = false;
+
+    bool operator==(const Slot&) const = default;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace rh::vmm

@@ -1,0 +1,148 @@
+#include "vmm/host.hpp"
+
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::vmm {
+
+Host::Host(sim::Simulation& sim, Calibration calib, std::uint64_t seed)
+    : sim_(sim),
+      calib_(calib),
+      rng_(seed),
+      machine_(sim, calib.machine),
+      link_(sim, calib.link) {
+  calib_.validate();
+}
+
+Vmm& Host::vmm() {
+  ensure(vmm_ != nullptr, "Host::vmm: no VMM instance (rebooting?)");
+  return *vmm_;
+}
+
+std::unique_ptr<Vmm> Host::new_vmm(BootMode mode) {
+  ++vmm_generation_;
+  return std::make_unique<Vmm>(sim_, calib_, machine_, preserved_, xenstore_,
+                               tracer_, rng_, mode);
+}
+
+void Host::restart_daemons() {
+  // xenstored restarts with dom0: fresh state, repopulated from the
+  // hypervisor's view of the live domains.
+  xenstore_.clear();
+  if (vmm_ != nullptr) vmm_->repopulate_store();
+}
+
+void Host::instant_start() {
+  ensure(vmm_ == nullptr, "Host::instant_start: already started");
+  vmm_ = new_vmm(BootMode::kFresh);
+  vmm_->boot_instantly();
+  dom0_state_ = Dom0State::kRunning;
+  vmm_ready_at_ = sim_.now();
+  dom0_up_at_ = sim_.now();
+  restart_daemons();
+  tracer_.emit(sim_.now(), "host", "instant start: host fully up");
+}
+
+void Host::shutdown_dom0(std::function<void()> on_down) {
+  ensure(static_cast<bool>(on_down), "shutdown_dom0: callback required");
+  ensure(dom0_state_ == Dom0State::kRunning, "shutdown_dom0: dom0 not running");
+  dom0_state_ = Dom0State::kShuttingDown;
+  tracer_.emit(sim_.now(), "host", "dom0 shutting down");
+  sim_.after(calib_.dom0_shutdown, [this, on_down = std::move(on_down)] {
+    dom0_state_ = Dom0State::kDown;
+    tracer_.emit(sim_.now(), "host", "dom0 down");
+    on_down();
+  });
+}
+
+void Host::boot_vmm(BootMode mode, std::function<void()> on_up) {
+  vmm_ = new_vmm(mode);
+  vmm_->boot([this, on_up = std::move(on_up)] {
+    vmm_ready_at_ = sim_.now();
+    dom0_state_ = Dom0State::kBooting;
+    sim_.after(calib_.dom0_userland_boot, [this, on_up] {
+      dom0_state_ = Dom0State::kRunning;
+      dom0_up_at_ = sim_.now();
+      restart_daemons();
+      tracer_.emit(sim_.now(), "host", "dom0 userland up");
+      on_up();
+    });
+  });
+}
+
+void Host::restart_dom0(std::function<void()> on_up) {
+  ensure(static_cast<bool>(on_up), "restart_dom0: callback required");
+  ensure(up(), "restart_dom0: host not fully up");
+  tracer_.emit(sim_.now(), "host", "restarting dom0 only (VMM untouched)");
+  shutdown_dom0([this, on_up = std::move(on_up)]() mutable {
+    dom0_state_ = Dom0State::kBooting;
+    sim_.after(calib_.dom0_userland_boot, [this, on_up = std::move(on_up)] {
+      dom0_state_ = Dom0State::kRunning;
+      dom0_up_at_ = sim_.now();
+      restart_daemons();
+      tracer_.emit(sim_.now(), "host", "dom0 restarted; daemons fresh");
+      on_up();
+    });
+  });
+}
+
+sim::Bytes Host::xenstored_memory() const {
+  return calib_.xenstored_base_memory + xenstore_.memory_footprint();
+}
+
+double Host::dom0_daemon_pressure() const {
+  return static_cast<double>(xenstored_memory()) /
+         static_cast<double>(calib_.dom0_daemon_budget);
+}
+
+void Host::quick_reload(std::function<void()> on_up) {
+  ensure(static_cast<bool>(on_up), "quick_reload: callback required");
+  ensure(vmm_ != nullptr && vmm_->ready(), "quick_reload: no running VMM");
+  ensure(vmm_->xexec_loaded(), "quick_reload: no xexec image loaded");
+  ensure(dom0_state_ == Dom0State::kDown,
+         "quick_reload: dom0 must be shut down first");
+  tracer_.emit(sim_.now(), "host", "quick reload: jumping to new VMM");
+  // The old VMM instance is gone the moment control transfers; machine
+  // memory and the preserved-region registry survive untouched.
+  vmm_.reset();
+  sim_.after(calib_.xexec_jump, [this, on_up = std::move(on_up)]() mutable {
+    boot_vmm(BootMode::kQuickReload, std::move(on_up));
+  });
+}
+
+void Host::hardware_reboot(std::function<void()> on_up) {
+  ensure(static_cast<bool>(on_up), "hardware_reboot: callback required");
+  ensure(dom0_state_ == Dom0State::kDown,
+         "hardware_reboot: dom0 must be shut down first");
+  tracer_.emit(sim_.now(), "host", "hardware reset");
+  vmm_.reset();
+  // The power cycle destroys RAM contents; everything the registry
+  // described is gone with them.
+  preserved_.clear();
+  machine_.hardware_reset([this, on_up = std::move(on_up)]() mutable {
+    tracer_.emit(sim_.now(), "host", "POST complete; boot loader");
+    sim_.after(calib_.bootloader, [this, on_up = std::move(on_up)]() mutable {
+      boot_vmm(BootMode::kFresh, std::move(on_up));
+    });
+  });
+}
+
+void Host::note_simultaneous_creations(int count) {
+  if (calib_.model_xen_creation_artifact && count >= 2) {
+    artifact_until_ = sim_.now() + calib_.creation_artifact_duration;
+    tracer_.emit(sim_.now(), "host",
+                 "Xen creation artifact: network degraded for " +
+                     std::to_string(sim::to_seconds(calib_.creation_artifact_duration)) +
+                     " s");
+  }
+}
+
+double Host::throughput_factor() const {
+  double factor =
+      sim_.now() < artifact_until_ ? calib_.creation_artifact_nic_factor : 1.0;
+  if (background_transfer_) factor *= 1.0 - calib_.migration_degradation;
+  return factor;
+}
+
+}  // namespace rh::vmm

@@ -1,0 +1,234 @@
+// The virtual machine monitor (hypervisor) -- one instance per boot.
+//
+// Modelled on Xen 3.0.0 with the RootHammer extensions: a VMM instance
+// owns the machine-frame allocator, the hypervisor heap, and the domain
+// table. Rebooting the VMM means destroying this object and constructing
+// a new one over the same physical machine; what survives that transition
+// is exactly what the hardware preserves -- disk contents always, RAM
+// contents only across a quick reload (never across a hardware reset).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "mm/frame_allocator.hpp"
+#include "mm/preserved_registry.hpp"
+#include "simcore/random.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/trace.hpp"
+#include "vmm/calibration.hpp"
+#include "vmm/domain.hpp"
+#include "vmm/save_restore.hpp"
+#include "vmm/vmm_heap.hpp"
+#include "vmm/xenstore.hpp"
+
+namespace rh::vmm {
+
+/// How this VMM instance came to run.
+enum class BootMode : std::uint8_t {
+  kFresh,        ///< after a hardware reset (RAM contents lost)
+  kQuickReload,  ///< via xexec (RAM contents preserved)
+};
+
+/// Serialised domain-management operations (the paper's xend in dom0):
+/// domain creation/restoration runs one at a time, which is why resume(n)
+/// and creation costs scale linearly with the number of VMs.
+class XendQueue {
+ public:
+  explicit XendQueue(sim::Simulation& sim) : sim_(sim) {}
+
+  /// Enqueues an operation of the given duration; `done` fires when the
+  /// operation completes (after all previously queued operations).
+  void enqueue(sim::Duration d, std::function<void()> done);
+
+  [[nodiscard]] sim::SimTime busy_until() const { return busy_until_; }
+
+ private:
+  sim::Simulation& sim_;
+  sim::SimTime busy_until_ = 0;
+};
+
+class Vmm {
+ public:
+  /// Heap charged per live domain (shadow of Xen's per-domain structures).
+  static constexpr sim::Bytes kDomainHeapCost = 48 * sim::kKiB;
+  /// Registry region name prefix for suspended domains.
+  static constexpr const char* kRegionPrefix = "domain/";
+
+  Vmm(sim::Simulation& sim, const Calibration& calib, hw::Machine& machine,
+      mm::PreservedRegionRegistry& preserved, XenStore& xenstore,
+      sim::Tracer& tracer, sim::Rng& rng, BootMode mode);
+
+  Vmm(const Vmm&) = delete;
+  Vmm& operator=(const Vmm&) = delete;
+
+  /// Boots the hypervisor: core init, re-reservation of preserved regions
+  /// (quick reload), scrub of free memory, domain-0 construction and
+  /// kernel boot. `on_ready` fires at the point the paper calls "the
+  /// reboot of the VMM completed".
+  void boot(std::function<void()> on_ready);
+
+  /// Synchronous variant of boot() taking zero simulated time. Intended
+  /// for experiment setup ("the machine is already up at t=0") and tests.
+  void boot_instantly();
+
+  [[nodiscard]] bool ready() const { return ready_; }
+  [[nodiscard]] BootMode boot_mode() const { return mode_; }
+
+  // ------------------------------------------------------------ domains
+
+  /// Creates a domain through the management queue (xend): allocates
+  /// machine frames, builds the P2M table, charges the hypervisor heap.
+  /// `done` receives the new domain's id once the operation completes.
+  void create_domain(const std::string& name, sim::Bytes memory,
+                     GuestHooks* hooks, std::function<void(DomainId)> done);
+
+  /// Immediate variant for tests and setup code (no xend delay).
+  DomainId create_domain_now(const std::string& name, sim::Bytes memory,
+                             GuestHooks* hooks);
+
+  /// Destroys a domain: releases its frames, frees (and possibly leaks)
+  /// hypervisor heap.
+  void destroy_domain(DomainId id);
+
+  [[nodiscard]] Domain& domain(DomainId id);
+  [[nodiscard]] const Domain& domain(DomainId id) const;
+  [[nodiscard]] Domain* find_domain(DomainId id);
+  [[nodiscard]] Domain* find_domain_by_name(const std::string& name);
+
+  /// Ids of all live (non-dead) domains except domain 0, ascending.
+  [[nodiscard]] std::vector<DomainId> unprivileged_domain_ids() const;
+  [[nodiscard]] std::size_t live_domain_count() const;
+
+  // ----------------------------------------------------- guest memory
+
+  void guest_write(DomainId id, mm::Pfn pfn, hw::ContentToken token);
+  [[nodiscard]] hw::ContentToken guest_read(DomainId id, mm::Pfn pfn) const;
+
+  // ------------------------------------- on-memory suspend / resume
+  // (implementation in suspend.cpp)
+
+  /// Suspends one running domain on-memory: delivers the suspend event,
+  /// waits for the guest's suspend hypercall, freezes the memory image in
+  /// place and records the preserved region.
+  void suspend_domain_on_memory(DomainId id, std::function<void()> done);
+
+  /// Suspends every running unprivileged domain (in parallel).
+  void suspend_all_on_memory(std::function<void()> done);
+
+  /// Names of domains with preserved in-memory images.
+  [[nodiscard]] std::vector<std::string> preserved_domain_names() const;
+
+  /// Resumes a previously on-memory-suspended domain in this VMM instance:
+  /// re-creates the domain (serialised through xend), re-attaches the
+  /// preserved frames recorded in the P2M table, restores execution state,
+  /// and runs the guest resume handler.
+  void resume_domain_on_memory(const std::string& name, GuestHooks* hooks,
+                               std::function<void(DomainId)> done);
+
+  // ------------------------------------------- Xen-style save / restore
+  // (implementation in save_restore.cpp)
+
+  /// Saves a running domain to disk (the paper's baseline): suspend event,
+  /// then the whole memory image is written out; the domain is destroyed.
+  void save_domain_to_disk(DomainId id, ImageStore& store,
+                           std::function<void()> done);
+
+  /// Restores a domain from its save file.
+  void restore_domain_from_disk(const std::string& name, ImageStore& store,
+                                GuestHooks* hooks,
+                                std::function<void(DomainId)> done);
+
+  /// Snapshot of a (suspended) domain's full state as an image. Used by
+  /// the save path and by live migration's stop-and-copy.
+  [[nodiscard]] SavedImage capture_image(DomainId id) const;
+
+  /// Rebuilds a domain from an in-memory image (live migration's receive
+  /// side): xend-serialised creation, content write, guest resume handler.
+  /// Transfer time is the caller's concern (it depends on the medium).
+  void restore_domain_from_image(const SavedImage& image, GuestHooks* hooks,
+                                 std::function<void(DomainId)> done);
+
+  // ------------------------------------------------------------- xexec
+  // (implementation in xexec.cpp)
+
+  /// Loads a new VMM executable image (VMM + dom0 kernel + initrd) into
+  /// memory via the xexec hypercall. Must be done before quick reload.
+  void xexec_load(std::function<void()> done);
+
+  [[nodiscard]] bool xexec_loaded() const { return xexec_loaded_; }
+
+  /// Simulates one execution of a buggy hypervisor error path (the Xen
+  /// changeset-11752 bug class): leaks heap per the calibration. Returns
+  /// the bytes leaked.
+  sim::Bytes trigger_error_path();
+
+  // ------------------------------------------------------ introspection
+
+  [[nodiscard]] VmmHeap& heap() { return heap_; }
+  [[nodiscard]] const VmmHeap& heap() const { return heap_; }
+  [[nodiscard]] mm::FrameAllocator& allocator() { return allocator_; }
+  [[nodiscard]] XendQueue& xend() { return xend_; }
+  [[nodiscard]] sim::Duration boot_scrub_duration() const { return scrub_duration_; }
+  /// Count of domain-management operations (create/resume/restore/destroy)
+  /// processed by this VMM instance; drives the xenstored aging model.
+  [[nodiscard]] std::uint64_t domain_ops() const { return domain_ops_; }
+
+  /// Re-registers every live domain in the (freshly restarted) store.
+  void repopulate_store();
+  [[nodiscard]] const Calibration& calib() const { return calib_; }
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] hw::Machine& machine() { return machine_; }
+  [[nodiscard]] mm::PreservedRegionRegistry& preserved() { return preserved_; }
+  [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+ private:
+  friend class SuspendMechanism;
+
+  /// Shared domain-construction bookkeeping (allocates frames, heap).
+  Domain& make_domain(const std::string& name, sim::Bytes memory,
+                      GuestHooks* hooks, bool privileged);
+
+  /// Writes an image's shape and contents into an existing fresh domain.
+  void apply_image(DomainId id, const SavedImage& img);
+
+  /// Registers a domain's control-plane entries in the xenstore.
+  void register_domain_in_store(const Domain& d);
+  /// Accounts one domain-management operation (and its xenstored leak).
+  void note_domain_op();
+
+  // Boot-sequence stages shared by boot() and boot_instantly().
+  void reserve_preserved_regions();
+  void build_dom0();
+  void scrub_free_memory();
+  void finish_boot();
+
+  void trace(const std::string& msg);
+  [[nodiscard]] sim::Duration create_duration(sim::Bytes memory) const;
+
+  sim::Simulation& sim_;
+  const Calibration& calib_;
+  hw::Machine& machine_;
+  mm::PreservedRegionRegistry& preserved_;
+  XenStore& xenstore_;
+  sim::Tracer& tracer_;
+  sim::Rng& rng_;
+  BootMode mode_;
+
+  mm::FrameAllocator allocator_;
+  VmmHeap heap_;
+  XendQueue xend_;
+  std::map<DomainId, std::unique_ptr<Domain>> domains_;
+  DomainId next_domain_id_ = kDomain0;
+  bool ready_ = false;
+  bool xexec_loaded_ = false;
+  sim::Duration scrub_duration_ = 0;
+  std::uint64_t domain_ops_ = 0;
+};
+
+}  // namespace rh::vmm

@@ -1,0 +1,60 @@
+// The hypervisor's internal heap -- the aging-critical resource.
+//
+// Xen's VMM heap is only 16 MB regardless of machine memory (Sec. 2 of the
+// paper); historical bugs leaked heap on every domain reboot or on error
+// paths, eventually exhausting it and degrading or crashing the VMM.
+// We model the heap as a tagged allocator with explicit leak injection:
+// leaked bytes stay unreclaimable until the VMM instance is rebuilt
+// (rejuvenated), which is precisely what rejuvenation restores.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "simcore/types.hpp"
+
+namespace rh::vmm {
+
+/// Thrown when a heap allocation cannot be satisfied -- the modelled
+/// "crash failure or performance degradation" of an aged VMM.
+class VmmHeapExhausted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class VmmHeap {
+ public:
+  explicit VmmHeap(sim::Bytes capacity);
+
+  /// Allocates `size` bytes under `tag`; throws VmmHeapExhausted if the
+  /// heap cannot satisfy it.
+  void allocate(const std::string& tag, sim::Bytes size);
+
+  /// Frees `size` bytes from `tag`; it is an error to free more than was
+  /// allocated under that tag.
+  void free(const std::string& tag, sim::Bytes size);
+
+  /// Injects a leak: `size` bytes become permanently unreclaimable for the
+  /// lifetime of this heap (i.e. of this VMM instance).
+  void leak(sim::Bytes size);
+
+  [[nodiscard]] sim::Bytes capacity() const { return capacity_; }
+  [[nodiscard]] sim::Bytes used() const { return used_; }
+  [[nodiscard]] sim::Bytes leaked() const { return leaked_; }
+  [[nodiscard]] sim::Bytes available() const { return capacity_ - used_ - leaked_; }
+  [[nodiscard]] sim::Bytes allocated_under(const std::string& tag) const;
+
+  /// Heap pressure in [0,1]; rejuvenation policies can trigger on this.
+  [[nodiscard]] double pressure() const {
+    return 1.0 - static_cast<double>(available()) / static_cast<double>(capacity_);
+  }
+
+ private:
+  sim::Bytes capacity_;
+  sim::Bytes used_ = 0;
+  sim::Bytes leaked_ = 0;
+  std::unordered_map<std::string, sim::Bytes> tags_;
+};
+
+}  // namespace rh::vmm

@@ -1,0 +1,90 @@
+// XenStore: the hierarchical key-value store of the Xen control plane.
+//
+// xenstored (a daemon in domain 0) holds every domain's configuration
+// under /local/domain/<id> and backs the device handshake protocol via
+// watches. The paper's Section 2 singles it out: it leaked memory
+// (changeset 8640), it is not restartable in place, and restoring from
+// its leaks "needs to reboot the privileged VM" -- which, without the
+// paper's future-work extension, drags the whole VMM down with it.
+//
+// This is a real store: paths, subtree listing/removal, watches with
+// prefix matching, and byte-level memory accounting that drives the
+// privileged-VM aging model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simcore/types.hpp"
+
+namespace rh::vmm {
+
+class XenStore {
+ public:
+  using WatchId = std::int32_t;
+  using WatchFn = std::function<void(const std::string& path)>;
+
+  /// Accounting overhead per node (struct + hash slot in the daemon).
+  static constexpr sim::Bytes kNodeOverhead = 128;
+
+  XenStore() = default;
+  XenStore(const XenStore&) = delete;
+  XenStore& operator=(const XenStore&) = delete;
+
+  /// Writes `value` at `path` ("/a/b/c"), creating missing parents.
+  /// Fires watches whose prefix covers the path.
+  void write(const std::string& path, std::string value);
+
+  /// Value at `path`; nullopt if the node does not exist.
+  [[nodiscard]] std::optional<std::string> read(const std::string& path) const;
+
+  [[nodiscard]] bool exists(const std::string& path) const;
+
+  /// Names of the direct children of `path` (empty if none/missing).
+  [[nodiscard]] std::vector<std::string> list(const std::string& path) const;
+
+  /// Removes the node and its whole subtree; returns nodes removed.
+  /// Fires watches covering the removed root.
+  std::size_t remove(const std::string& path);
+
+  /// Registers a watch on a path prefix; the callback fires on any write
+  /// or removal at or below it.
+  WatchId watch(const std::string& prefix, WatchFn fn);
+  void unwatch(WatchId id);
+
+  /// Total live nodes (excluding the implicit root).
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+
+  /// Daemon-resident bytes: per-node overhead + path component + value.
+  [[nodiscard]] sim::Bytes memory_footprint() const { return footprint_; }
+
+  [[nodiscard]] std::size_t watch_count() const { return watches_.size(); }
+
+  /// Daemon restart: everything (nodes and watches) is gone.
+  void clear();
+
+ private:
+  struct Node {
+    std::string value;
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  static std::vector<std::string> split(const std::string& path);
+  [[nodiscard]] const Node* find(const std::string& path) const;
+  void fire_watches(const std::string& path);
+  sim::Bytes subtree_bytes(const std::string& name, const Node& node) const;
+  std::size_t subtree_nodes(const Node& node) const;
+
+  Node root_;
+  std::size_t node_count_ = 0;
+  sim::Bytes footprint_ = 0;
+  std::map<WatchId, std::pair<std::string, WatchFn>> watches_;
+  WatchId next_watch_ = 1;
+};
+
+}  // namespace rh::vmm

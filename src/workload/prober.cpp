@@ -1,0 +1,82 @@
+#include "workload/prober.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::workload {
+
+Prober::Prober(sim::Simulation& sim, Config config, std::function<bool()> up)
+    : sim_(sim), config_(config), up_(std::move(up)) {
+  ensure(static_cast<bool>(up_), "Prober: liveness callback required");
+  ensure(config_.interval > 0, "Prober: interval must be positive");
+}
+
+Prober::~Prober() { stop(); }
+
+void Prober::start() {
+  ensure(!running_, "Prober::start: already running");
+  running_ = true;
+  first_probe_ = true;
+  probe();
+}
+
+void Prober::stop() {
+  running_ = false;
+  if (pending_ != sim::kInvalidEventId) {
+    sim_.cancel(pending_);
+    pending_ = sim::kInvalidEventId;
+  }
+}
+
+void Prober::probe() {
+  pending_ = sim::kInvalidEventId;
+  if (!running_) return;
+  ++probes_;
+  const bool up = up_();
+  if (first_probe_ || up != last_up_) {
+    transitions_.push_back({sim_.now(), up});
+    first_probe_ = false;
+  }
+  last_up_ = up;
+  pending_ = sim_.after(config_.interval, [this] { probe(); });
+}
+
+std::optional<sim::Duration> Prober::outage_after(sim::SimTime from) const {
+  const auto down = down_at_after(from);
+  if (!down) return std::nullopt;
+  for (const auto& t : transitions_) {
+    if (t.time > *down && t.up) return t.time - *down;
+  }
+  return std::nullopt;  // still down
+}
+
+std::optional<sim::SimTime> Prober::down_at_after(sim::SimTime from) const {
+  for (const auto& t : transitions_) {
+    if (t.time >= from && !t.up) return t.time;
+  }
+  return std::nullopt;
+}
+
+sim::Duration Prober::total_downtime(sim::SimTime from, sim::SimTime to) const {
+  ensure(to >= from, "Prober::total_downtime: bad window");
+  sim::Duration down = 0;
+  // Walk the transition list, tracking state over [from, to).
+  bool up = true;
+  sim::SimTime cursor = from;
+  for (const auto& t : transitions_) {
+    if (t.time <= from) {
+      up = t.up;
+      continue;
+    }
+    if (t.time >= to) break;
+    if (!up) down += t.time - cursor;
+    cursor = t.time;
+    up = t.up;
+  }
+  if (!up) down += to - cursor;
+  return down;
+}
+
+}  // namespace rh::workload

@@ -1,0 +1,71 @@
+// Service-liveness prober: measures downtime the way the paper does.
+//
+// "We measured the time from when a networked service in each VM was down
+// and until it was up again after the VMM was rebooted" (Sec. 5.3). The
+// prober sends a probe every `interval` from the client host and records
+// up/down transitions; downtime is the width of the down window.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "simcore/simulation.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::workload {
+
+class Prober {
+ public:
+  struct Config {
+    sim::Duration interval = 100 * sim::kMillisecond;
+  };
+
+  /// `up` is evaluated at each probe instant and must say whether the
+  /// target service would answer.
+  Prober(sim::Simulation& sim, Config config, std::function<bool()> up);
+  ~Prober();
+  Prober(const Prober&) = delete;
+  Prober& operator=(const Prober&) = delete;
+
+  void start();
+  void stop();
+
+  struct Transition {
+    sim::SimTime time = 0;
+    bool up = false;
+  };
+
+  /// Recorded state changes (the first probe always records one).
+  [[nodiscard]] const std::vector<Transition>& transitions() const {
+    return transitions_;
+  }
+
+  [[nodiscard]] bool currently_up() const { return last_up_; }
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_; }
+
+  /// The first complete outage beginning at or after `from`:
+  /// [went down, came back up). Empty if none completed yet.
+  [[nodiscard]] std::optional<sim::Duration> outage_after(sim::SimTime from) const;
+
+  /// When the service went down for the first outage at/after `from`.
+  [[nodiscard]] std::optional<sim::SimTime> down_at_after(sim::SimTime from) const;
+
+  /// Total down time within [from, to).
+  [[nodiscard]] sim::Duration total_downtime(sim::SimTime from, sim::SimTime to) const;
+
+ private:
+  void probe();
+
+  sim::Simulation& sim_;
+  Config config_;
+  std::function<bool()> up_;
+  std::vector<Transition> transitions_;
+  sim::EventId pending_ = sim::kInvalidEventId;
+  bool running_ = false;
+  bool last_up_ = false;
+  bool first_probe_ = true;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace rh::workload

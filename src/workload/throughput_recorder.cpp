@@ -1,0 +1,45 @@
+#include "workload/throughput_recorder.hpp"
+
+#include <algorithm>
+
+#include "simcore/check.hpp"
+
+namespace rh::workload {
+
+DegradationReport ThroughputAnalyzer::analyze(
+    const sim::RateRecorder& completions, sim::SimTime event_start,
+    sim::SimTime restored_at, sim::SimTime horizon, sim::Duration bin,
+    sim::Duration baseline_window) {
+  ensure(bin > 0, "ThroughputAnalyzer: bin must be positive");
+  ensure(restored_at >= event_start, "ThroughputAnalyzer: restore before event");
+  ensure(horizon > restored_at, "ThroughputAnalyzer: empty post window");
+
+  DegradationReport rep;
+  const sim::SimTime base_from =
+      std::max<sim::SimTime>(0, event_start - baseline_window);
+  rep.baseline_rate = completions.rate_between(base_from, event_start);
+
+  // First bin after restoration with any completions defines the restored
+  // rate; the degraded window ends at the first bin back at >= 90 % of
+  // baseline.
+  bool found_restored = false;
+  sim::SimTime recovered_at = horizon;
+  for (sim::SimTime t = restored_at; t + bin <= horizon; t += bin) {
+    const double r = completions.rate_between(t, t + bin);
+    if (!found_restored && r > 0.0) {
+      rep.restored_rate = r;
+      found_restored = true;
+    }
+    if (found_restored && r >= 0.9 * rep.baseline_rate) {
+      recovered_at = t;
+      break;
+    }
+  }
+  rep.degraded_window = recovered_at - restored_at;
+  if (rep.baseline_rate > 0.0) {
+    rep.degradation = std::clamp(1.0 - rep.restored_rate / rep.baseline_rate, 0.0, 1.0);
+  }
+  return rep;
+}
+
+}  // namespace rh::workload

@@ -1,0 +1,34 @@
+// Throughput timeline analysis around a reboot event (Figs. 7 and 8).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "simcore/time_series.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::workload {
+
+/// Quantifies post-reboot performance degradation from a completion log.
+struct DegradationReport {
+  double baseline_rate = 0.0;  ///< req/s before the event
+  double restored_rate = 0.0;  ///< req/s in the first active bin after restore
+  /// 1 - restored/baseline, clamped to [0, 1]; the paper's "degraded by X %".
+  double degradation = 0.0;
+  /// How long after restoration the rate stayed below 90 % of baseline.
+  sim::Duration degraded_window = 0;
+};
+
+class ThroughputAnalyzer {
+ public:
+  /// `event_start`: when the reboot began (end of baseline window);
+  /// `restored_at`: when the service answered again;
+  /// `horizon`: end of the observation window.
+  static DegradationReport analyze(const sim::RateRecorder& completions,
+                                   sim::SimTime event_start,
+                                   sim::SimTime restored_at, sim::SimTime horizon,
+                                   sim::Duration bin = sim::kSecond,
+                                   sim::Duration baseline_window = 10 * sim::kSecond);
+};
+
+}  // namespace rh::workload

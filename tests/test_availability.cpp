@@ -1,0 +1,64 @@
+// Section 5.3's availability arithmetic.
+#include <gtest/gtest.h>
+
+#include "rejuv/availability.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::test {
+namespace {
+
+rejuv::AvailabilityParams paper_params(double vmm_downtime, bool includes_os) {
+  rejuv::AvailabilityParams p;
+  p.os_downtime_s = 33.6;
+  p.vmm_downtime_s = vmm_downtime;
+  p.alpha = 0.5;
+  p.vmm_reboot_includes_os = includes_os;
+  return p;
+}
+
+TEST(Availability, PaperNumbersReproduce) {
+  // warm 42 s -> 99.993 %, cold 241 s -> 99.985 %, saved 429 s -> 99.977 %.
+  EXPECT_NEAR(rejuv::availability(paper_params(42, false)) * 100, 99.9927, 0.0005);
+  EXPECT_NEAR(rejuv::availability(paper_params(241, true)) * 100, 99.9852, 0.0005);
+  EXPECT_NEAR(rejuv::availability(paper_params(429, false)) * 100, 99.9767, 0.0005);
+}
+
+TEST(Availability, NinesMatchPaperClaim) {
+  EXPECT_EQ(rejuv::count_nines(rejuv::availability(paper_params(42, false))), 4);
+  EXPECT_EQ(rejuv::count_nines(rejuv::availability(paper_params(241, true))), 3);
+  EXPECT_EQ(rejuv::count_nines(rejuv::availability(paper_params(429, false))), 3);
+}
+
+TEST(Availability, ExpectedDowntimeComposition) {
+  // warm: 4 OS rejuvenations + the VMM one.
+  EXPECT_NEAR(rejuv::expected_downtime_s(paper_params(42, false)),
+              4 * 33.6 + 42, 1e-9);
+  // cold: the VMM reboot replaces alpha of one OS rejuvenation.
+  EXPECT_NEAR(rejuv::expected_downtime_s(paper_params(241, true)),
+              3.5 * 33.6 + 241, 1e-9);
+}
+
+TEST(Availability, ValidatesInput) {
+  auto p = paper_params(42, false);
+  p.os_interval = 3 * sim::kDay;  // not a divisor of 4 weeks
+  EXPECT_THROW((void)rejuv::availability(p), InvariantViolation);
+  p = paper_params(42, false);
+  p.alpha = 0.0;
+  EXPECT_THROW((void)rejuv::availability(p), InvariantViolation);
+}
+
+TEST(Availability, CountNines) {
+  EXPECT_EQ(rejuv::count_nines(0.9), 1);
+  EXPECT_EQ(rejuv::count_nines(0.99), 2);
+  EXPECT_EQ(rejuv::count_nines(0.9995), 3);
+  EXPECT_EQ(rejuv::count_nines(0.0), 0);
+  EXPECT_EQ(rejuv::count_nines(0.5), 0);
+  EXPECT_THROW((void)rejuv::count_nines(1.0), InvariantViolation);
+}
+
+TEST(Availability, Formatting) {
+  EXPECT_EQ(rejuv::format_availability(0.99993), "99.993 %");
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,141 @@
+// Cluster: analytic throughput model + DES load balancer + rolling rejuv.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/throughput_model.hpp"
+#include "test_util.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(ClusterModel, TimelinesMatchFig9Shape) {
+  cluster::ClusterThroughputParams p;  // defaults: paper's numbers, m=4
+  cluster::ClusterThroughputModel model(p);
+  using S = cluster::ClusterStrategy;
+  // During the warm reboot: (m-1)p; after: m*p.
+  EXPECT_DOUBLE_EQ(model.throughput_at(S::kWarm, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(model.throughput_at(S::kWarm, 43.0), 4.0);
+  // Cold: longer dip, then the (m - delta)p cache-refill shoulder.
+  EXPECT_DOUBLE_EQ(model.throughput_at(S::kCold, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(model.throughput_at(S::kCold, 244.0), 4.0 - 0.69);
+  EXPECT_DOUBLE_EQ(model.throughput_at(S::kCold, 250.0), 4.0);
+  // Migration: permanently (m-1)p, worse while migrating.
+  EXPECT_DOUBLE_EQ(model.throughput_at(S::kLiveMigration, 100.0), 3.0 - 0.12);
+  EXPECT_DOUBLE_EQ(model.throughput_at(S::kLiveMigration, 1500.0), 3.0);
+}
+
+TEST(ClusterModel, WarmLosesLeastWork) {
+  cluster::ClusterThroughputModel model({});
+  using S = cluster::ClusterStrategy;
+  const double warm = model.lost_work(S::kWarm, 1800);
+  const double cold = model.lost_work(S::kCold, 1800);
+  const double mig = model.lost_work(S::kLiveMigration, 1800);
+  EXPECT_LT(warm, cold);
+  EXPECT_LT(cold, mig);  // the reserved host dominates over 30 min
+  EXPECT_NEAR(warm, 42.0, 1.0);
+}
+
+TEST(ClusterModel, SeriesCoversAllStrategies) {
+  cluster::ClusterThroughputModel model({});
+  const auto series = model.series(300.0, 10.0);
+  ASSERT_EQ(series.size(), std::size_t{31});
+  for (const auto& pt : series) {
+    EXPECT_GT(pt.warm, 0.0);
+    EXPECT_GE(pt.warm, pt.cold - 1e-9);  // warm never worse than cold
+  }
+}
+
+TEST(ClusterModel, Validation) {
+  cluster::ClusterThroughputParams p;
+  p.hosts = 1;
+  EXPECT_THROW(cluster::ClusterThroughputModel{p}, InvariantViolation);
+}
+
+// ------------------------------------------------------------------ DES
+
+struct ClusterRig {
+  sim::Simulation sim;
+  cluster::Cluster cl;
+
+  explicit ClusterRig(int hosts = 2, int vms = 2)
+      : cl(sim, {hosts, vms, sim::kGiB, 20, 512 * sim::kKiB, {}}) {
+    bool ready = false;
+    cl.start([&ready] { ready = true; });
+    while (!ready && sim.pending_events() > 0) sim.step();
+    EXPECT_TRUE(ready);
+  }
+};
+
+TEST(Cluster, StartBringsAllBackendsUp) {
+  ClusterRig rig;
+  EXPECT_EQ(rig.cl.balancer().backend_count(), std::size_t{4});
+  EXPECT_EQ(rig.cl.balancer().reachable_backends(), std::size_t{4});
+  for (int h = 0; h < 2; ++h) {
+    EXPECT_TRUE(rig.cl.host(h).up());
+    for (int v = 0; v < 2; ++v) {
+      EXPECT_EQ(rig.cl.guest(h, v).state(), guest::OsState::kRunning);
+    }
+  }
+}
+
+TEST(Cluster, BalancerSkipsUnreachableBackends) {
+  ClusterRig rig;
+  // Take host 0 down (dom0 shutdown kills its network path).
+  bool down = false;
+  rig.cl.host(0).shutdown_dom0([&down] { down = true; });
+  while (!down) rig.sim.step();
+  EXPECT_EQ(rig.cl.balancer().reachable_backends(), std::size_t{2});
+  int served = 0;
+  for (int i = 0; i < 10; ++i) {
+    rig.cl.balancer().dispatch([&](bool ok) { served += ok ? 1 : 0; });
+  }
+  rig.sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(served, 10);  // host 1 carried everything
+}
+
+TEST(Cluster, DispatchFailsOnlyWhenAllDown) {
+  ClusterRig rig(1, 1);
+  bool down = false;
+  rig.cl.host(0).shutdown_dom0([&down] { down = true; });
+  while (!down) rig.sim.step();
+  bool ok = true;
+  rig.cl.balancer().dispatch([&](bool served) { ok = served; });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(rig.cl.balancer().rejected(), std::uint64_t{1});
+}
+
+TEST(Cluster, RollingWarmRejuvenationKeepsServiceAvailable) {
+  ClusterRig rig;
+  cluster::ClusterClientFleet fleet(rig.sim, rig.cl.balancer(), {});
+  fleet.start();
+  rig.sim.run_for(10 * sim::kSecond);
+  bool done = false;
+  rig.cl.rolling_rejuvenation(rejuv::RebootKind::kWarm, [&done] { done = true; });
+  while (!done) rig.sim.step();
+  rig.sim.run_for(10 * sim::kSecond);
+  fleet.stop();
+  // Two hosts rejuvenated sequentially (~50 s each) -- throughout, the
+  // other host kept answering: there is never a window with zero backends.
+  ASSERT_EQ(rig.cl.rejuvenation_durations().size(), std::size_t{2});
+  for (const auto d : rig.cl.rejuvenation_durations()) {
+    EXPECT_NEAR(sim::to_seconds(d), 52.0, 8.0);
+  }
+  EXPECT_EQ(rig.cl.balancer().rejected(), std::uint64_t{0});
+  // All guests everywhere survived with state intact.
+  for (int h = 0; h < 2; ++h) {
+    for (int v = 0; v < 2; ++v) {
+      EXPECT_TRUE(rig.cl.guest(h, v).integrity_ok());
+      EXPECT_EQ(rig.cl.guest(h, v).state(), guest::OsState::kRunning);
+    }
+  }
+}
+
+TEST(Cluster, GuestsOfValidatesIndex) {
+  ClusterRig rig;
+  EXPECT_THROW((void)rig.cl.host(5), InvariantViolation);
+  EXPECT_THROW((void)rig.cl.guest(0, 9), InvariantViolation);
+  EXPECT_EQ(rig.cl.guests_of(0).size(), std::size_t{2});
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "simcore/simulation.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(CpuPool, SingleTaskRunsAtFullSpeed) {
+  sim::Simulation s;
+  hw::CpuPool cpu(s, 4);
+  sim::SimTime done_at = 0;
+  cpu.run(sim::kSecond, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_EQ(done_at, sim::kSecond);
+}
+
+TEST(CpuPool, UpToCoresNoContention) {
+  sim::Simulation s;
+  hw::CpuPool cpu(s, 4);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) cpu.run(sim::kSecond, [&] { ++done; });
+  s.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(s.now(), sim::kSecond);  // all parallel
+}
+
+TEST(CpuPool, OverloadSharesFairly) {
+  sim::Simulation s;
+  hw::CpuPool cpu(s, 2);
+  // 4 equal tasks on 2 cores: each runs at rate 1/2 -> all end at 2 s.
+  std::vector<sim::SimTime> ends;
+  for (int i = 0; i < 4; ++i) cpu.run(sim::kSecond, [&] { ends.push_back(s.now()); });
+  s.run();
+  ASSERT_EQ(ends.size(), std::size_t{4});
+  for (const auto e : ends) EXPECT_NEAR(sim::to_seconds(e), 2.0, 0.001);
+}
+
+TEST(CpuPool, LateArrivalSlowsEarlierTask) {
+  sim::Simulation s;
+  hw::CpuPool cpu(s, 1);
+  sim::SimTime first_end = 0, second_end = 0;
+  cpu.run(2 * sim::kSecond, [&] { first_end = s.now(); });
+  // Arrives at t=1: from then on both share the single core.
+  s.after(sim::kSecond, [&] {
+    cpu.run(sim::kSecond, [&] { second_end = s.now(); });
+  });
+  s.run();
+  // First task: 1 s full speed + 1 s remaining at half speed = ends at 3 s.
+  EXPECT_NEAR(sim::to_seconds(first_end), 3.0, 0.001);
+  // Second: shares until t=3 (progress 1 s of work? it needs 1 s: half
+  // speed from 1..3 gives exactly 1 s of work) -> ends at 3 s too.
+  EXPECT_NEAR(sim::to_seconds(second_end), 3.0, 0.001);
+}
+
+TEST(CpuPool, WorkConservation) {
+  // Total wall time to finish k tasks of d seconds on c cores is at least
+  // k*d/c and at most k*d.
+  sim::Simulation s;
+  hw::CpuPool cpu(s, 4);
+  int done = 0;
+  for (int i = 0; i < 11; ++i) cpu.run(16 * sim::kSecond, [&] { ++done; });
+  s.run();
+  EXPECT_EQ(done, 11);
+  EXPECT_NEAR(sim::to_seconds(s.now()), 11.0 * 16.0 / 4.0, 0.01);
+}
+
+TEST(CpuPool, ZeroDurationCompletesImmediately) {
+  sim::Simulation s;
+  hw::CpuPool cpu(s, 1);
+  bool done = false;
+  cpu.run(0, [&] { done = true; });
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(s.now(), 0);
+}
+
+TEST(CpuPool, TaskChainsFromCompletionCallback) {
+  sim::Simulation s;
+  hw::CpuPool cpu(s, 1);
+  sim::SimTime end = 0;
+  cpu.run(sim::kSecond, [&] {
+    cpu.run(sim::kSecond, [&] { end = s.now(); });
+  });
+  s.run();
+  EXPECT_NEAR(sim::to_seconds(end), 2.0, 0.001);
+  EXPECT_EQ(cpu.active_tasks(), 0);
+}
+
+}  // namespace
+}  // namespace rh::test

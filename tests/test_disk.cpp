@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "hw/disk.hpp"
+#include "simcore/simulation.hpp"
+
+namespace rh::test {
+namespace {
+
+hw::DiskModel test_model() {
+  // 100 MB/s read, 50 MB/s write, 10 ms access: round numbers for math.
+  return {100.0e6, 50.0e6, 10 * sim::kMillisecond};
+}
+
+TEST(Disk, SequentialReadTiming) {
+  sim::Simulation s;
+  hw::Disk d(s, test_model());
+  sim::SimTime done_at = 0;
+  d.read(100'000'000, hw::Disk::Access::kSequential, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_EQ(done_at, sim::kSecond);  // 100 MB at 100 MB/s
+}
+
+TEST(Disk, RandomAccessAddsLatency) {
+  sim::Simulation s;
+  hw::Disk d(s, test_model());
+  sim::SimTime done_at = 0;
+  d.read(100'000'000, hw::Disk::Access::kRandom, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_EQ(done_at, sim::kSecond + 10 * sim::kMillisecond);
+}
+
+TEST(Disk, WritesUseWriteThroughput) {
+  sim::Simulation s;
+  hw::Disk d(s, test_model());
+  sim::SimTime done_at = 0;
+  d.write(100'000'000, hw::Disk::Access::kSequential, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_EQ(done_at, 2 * sim::kSecond);  // 50 MB/s
+}
+
+TEST(Disk, RequestsServeFifo) {
+  sim::Simulation s;
+  hw::Disk d(s, test_model());
+  std::vector<int> order;
+  sim::SimTime t1 = 0, t2 = 0;
+  d.read(100'000'000, hw::Disk::Access::kSequential, [&] {
+    order.push_back(1);
+    t1 = s.now();
+  });
+  d.read(100'000'000, hw::Disk::Access::kSequential, [&] {
+    order.push_back(2);
+    t2 = s.now();
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(t1, sim::kSecond);
+  EXPECT_EQ(t2, 2 * sim::kSecond);  // serialised, not parallel
+}
+
+TEST(Disk, QueueDrainsThenIdles) {
+  sim::Simulation s;
+  hw::Disk d(s, test_model());
+  d.read(50'000'000, hw::Disk::Access::kSequential, [] {});
+  EXPECT_FALSE(d.idle());
+  s.run();
+  EXPECT_TRUE(d.idle());
+  // A new request after idle starts from now, not from busy_until.
+  sim::SimTime done_at = 0;
+  s.after(sim::kSecond, [&] {
+    d.read(50'000'000, hw::Disk::Access::kSequential, [&] { done_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(done_at, sim::kSecond + 500 * sim::kMillisecond + 500 * sim::kMillisecond);
+}
+
+TEST(Disk, OccupyBlocksQueue) {
+  sim::Simulation s;
+  hw::Disk d(s, test_model());
+  sim::SimTime occupy_done = 0, read_done = 0;
+  d.occupy(3 * sim::kSecond, [&] { occupy_done = s.now(); });
+  d.read(100'000'000, hw::Disk::Access::kSequential, [&] { read_done = s.now(); });
+  s.run();
+  EXPECT_EQ(occupy_done, 3 * sim::kSecond);
+  EXPECT_EQ(read_done, 4 * sim::kSecond);
+}
+
+TEST(Disk, StatisticsAccumulate) {
+  sim::Simulation s;
+  hw::Disk d(s, test_model());
+  d.read(1000, hw::Disk::Access::kSequential, [] {});
+  d.write(2000, hw::Disk::Access::kSequential, [] {});
+  s.run();
+  EXPECT_EQ(d.bytes_read(), 1000);
+  EXPECT_EQ(d.bytes_written(), 2000);
+  EXPECT_EQ(d.requests_served(), std::uint64_t{2});
+  EXPECT_GT(d.busy_time(), 0);
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,69 @@
+// The Section 3.2 analytic model with the paper's Section 5.6 constants.
+#include <gtest/gtest.h>
+
+#include "rejuv/downtime_model.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(DowntimeModel, PaperConstantsReproduceHeadlines) {
+  const auto m = rejuv::DowntimeModel::paper();
+  // d_w(11) ~ 42 s (the measured warm downtime at 11 VMs).
+  EXPECT_NEAR(m.d_warm(11), 41.6, 1.0);
+  // d_c grows with n through reboot_os.
+  EXPECT_GT(m.d_cold(11, 0.5), m.d_cold(1, 0.5));
+  // The paper's r(n) = 3.9 n + 60 - 17 alpha (rounded coefficients).
+  const auto r_fn = m.reduction_fn(0.5);
+  EXPECT_NEAR(r_fn.slope, 3.92, 0.05);
+  EXPECT_NEAR(r_fn.intercept, 60.27 - 17.0 * 0.5, 1.0);
+}
+
+TEST(DowntimeModel, ReductionConsistency) {
+  const auto m = rejuv::DowntimeModel::paper();
+  for (int n = 1; n <= 11; ++n) {
+    for (const double alpha : {0.1, 0.5, 1.0}) {
+      EXPECT_NEAR(m.reduction(n, alpha), m.d_cold(n, alpha) - m.d_warm(n), 1e-9);
+      EXPECT_NEAR(m.reduction_fn(alpha).at(n), m.reduction(n, alpha), 1e-9);
+    }
+  }
+}
+
+TEST(DowntimeModel, AlwaysPositiveUnderPaperConstants) {
+  const auto m = rejuv::DowntimeModel::paper();
+  EXPECT_TRUE(m.always_positive(11, 1.0));
+  EXPECT_TRUE(m.always_positive(11, 0.001));
+  EXPECT_TRUE(m.always_positive(100, 1.0));  // extrapolates safely
+}
+
+TEST(DowntimeModel, WarmCanLoseIfResumeWereSlow) {
+  // Sanity: the model is not tautologically positive -- a hypothetical
+  // resume as slow as a full OS boot flips the sign.
+  auto m = rejuv::DowntimeModel::paper();
+  m.resume = {60.0, 120.0};
+  EXPECT_FALSE(m.always_positive(11, 0.5));
+}
+
+TEST(DowntimeModel, AlphaValidated) {
+  const auto m = rejuv::DowntimeModel::paper();
+  EXPECT_THROW((void)m.d_cold(5, 0.0), InvariantViolation);
+  EXPECT_THROW((void)m.d_cold(5, 1.5), InvariantViolation);
+}
+
+TEST(DowntimeModel, AlphaOnlyAffectsColdPath) {
+  const auto m = rejuv::DowntimeModel::paper();
+  EXPECT_DOUBLE_EQ(m.d_warm(5), m.d_warm(5));
+  EXPECT_GT(m.d_cold(5, 0.1), m.d_cold(5, 1.0));  // larger alpha saves more
+  // Exactly reboot_os(1) of swing across the whole alpha range.
+  EXPECT_NEAR(m.d_cold(5, 0.001) - m.d_cold(5, 1.0),
+              m.reboot_os.at(1) * 0.999, 0.01);
+}
+
+TEST(LinearFn, FormatAndEval) {
+  const rejuv::LinearFn f{3.9, 60.0};
+  EXPECT_NEAR(f.at(10), 99.0, 1e-12);
+  EXPECT_EQ(f.to_string(), "3.90n + 60.00");
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "simcore/check.hpp"
+#include "vmm/event_channel.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(EventChannel, AllocBindClose) {
+  vmm::EventChannelTable t;
+  const auto p = t.alloc_unbound(kDomain0);
+  EXPECT_FALSE(t.is_bound(p));
+  EXPECT_EQ(t.open_ports(), std::size_t{1});
+  t.bind(p);
+  EXPECT_TRUE(t.is_bound(p));
+  EXPECT_EQ(t.bound_ports(), std::size_t{1});
+  t.close(p);
+  EXPECT_FALSE(t.is_bound(p));
+  EXPECT_EQ(t.open_ports(), std::size_t{0});
+}
+
+TEST(EventChannel, ReusesClosedSlots) {
+  vmm::EventChannelTable t;
+  const auto p0 = t.alloc_unbound(kDomain0);
+  const auto p1 = t.alloc_unbound(kDomain0);
+  t.close(p0);
+  const auto p2 = t.alloc_unbound(1);
+  EXPECT_EQ(p2, p0);  // first closed slot reused
+  EXPECT_NE(p2, p1);
+}
+
+TEST(EventChannel, InvalidOpsThrow) {
+  vmm::EventChannelTable t;
+  EXPECT_THROW(t.bind(0), InvariantViolation);
+  EXPECT_THROW(t.close(5), InvariantViolation);
+  const auto p = t.alloc_unbound(kDomain0);
+  t.close(p);
+  EXPECT_THROW(t.bind(p), InvariantViolation);  // closed slot
+}
+
+TEST(EventChannel, StateTokenTracksState) {
+  vmm::EventChannelTable a, b;
+  EXPECT_EQ(a.state_token(), b.state_token());
+  const auto pa = a.alloc_unbound(kDomain0);
+  EXPECT_NE(a.state_token(), b.state_token());
+  const auto pb = b.alloc_unbound(kDomain0);
+  EXPECT_EQ(a.state_token(), b.state_token());
+  a.bind(pa);
+  EXPECT_NE(a.state_token(), b.state_token());
+  b.bind(pb);
+  EXPECT_EQ(a.state_token(), b.state_token());
+}
+
+TEST(EventChannel, SerializeRoundTrip) {
+  vmm::EventChannelTable t;
+  const auto p0 = t.alloc_unbound(kDomain0);
+  t.bind(p0);
+  t.alloc_unbound(3);
+  const auto p2 = t.alloc_unbound(4);
+  t.close(p2);
+
+  mm::ByteWriter w;
+  t.serialize(w);
+  const auto blob = w.take();
+  mm::ByteReader r(blob);
+  const auto t2 = vmm::EventChannelTable::deserialize(r);
+  EXPECT_EQ(t, t2);
+  EXPECT_EQ(t.state_token(), t2.state_token());
+  EXPECT_EQ(t2.open_ports(), std::size_t{2});
+  EXPECT_EQ(t2.bound_ports(), std::size_t{1});
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimestampIsFifo) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesPendingEvent) {
+  sim::EventQueue q;
+  bool fired = false;
+  const auto id = q.push(10, [&] { fired = true; });
+  q.push(20, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), std::size_t{1});
+  EXPECT_EQ(q.next_time(), 20);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  sim::EventQueue q;
+  const auto id = q.push(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(sim::kInvalidEventId));
+}
+
+TEST(EventQueue, CancelAllLeavesEmptyQueue) {
+  sim::EventQueue q;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(q.push(i, [] {}));
+  for (const auto id : ids) q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), std::size_t{0});
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  sim::EventQueue q;
+  EXPECT_THROW(q.pop(), InvariantViolation);
+  EXPECT_THROW((void)q.next_time(), InvariantViolation);
+}
+
+TEST(EventQueue, EmptyCallbackRejected) {
+  sim::EventQueue q;
+  EXPECT_THROW(q.push(0, std::function<void()>{}), InvariantViolation);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  sim::EventQueue q;
+  for (int i = 0; i < 5; ++i) q.push(i, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  sim::EventQueue q;
+  std::vector<sim::SimTime> popped;
+  q.push(5, [] {});
+  q.push(1, [] {});
+  popped.push_back(q.pop().time);  // 1
+  q.push(3, [] {});
+  q.push(2, [] {});
+  while (!q.empty()) popped.push_back(q.pop().time);
+  EXPECT_EQ(popped, (std::vector<sim::SimTime>{1, 2, 3, 5}));
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,174 @@
+// Failure injection around the reboot window: what survives what.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "workload/http_client.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(FailureInjection, PowerLossAfterSuspendLosesImagesNotDisk) {
+  // The operator suspends everything for a warm reboot, but the machine
+  // loses power before the quick reload. The in-memory images are gone;
+  // anything saved to disk earlier is not.
+  HostFixture fx(2);
+  // vm1's image goes to disk first (the admin hedged).
+  bool saved = false;
+  fx.host->vmm().save_domain_to_disk(fx.guests[1]->domain_id(),
+                                     fx.host->images(), [&] { saved = true; });
+  run_until_flag(fx.sim, saved);
+  bool suspended = false;
+  fx.host->vmm().suspend_all_on_memory([&] { suspended = true; });
+  run_until_flag(fx.sim, suspended);
+  bool down = false;
+  fx.host->shutdown_dom0([&] { down = true; });
+  run_until_flag(fx.sim, down);
+
+  // Power loss instead of quick reload.
+  bool up = false;
+  fx.host->hardware_reboot([&] { up = true; });
+  run_until_flag(fx.sim, up);
+
+  // vm0's frozen image is unrecoverable; resume must fail loudly.
+  EXPECT_TRUE(fx.host->preserved().empty());
+  EXPECT_THROW(fx.host->vmm().resume_domain_on_memory(
+                   "vm0", fx.guests[0].get(), [](DomainId) {}),
+               InvariantViolation);
+  // vm1 restores from its disk image; vm0 can only cold-boot.
+  bool restored = false;
+  fx.host->vmm().restore_domain_from_disk("vm1", fx.host->images(),
+                                          fx.guests[1].get(),
+                                          [&](DomainId) { restored = true; });
+  run_until_flag(fx.sim, restored);
+  EXPECT_TRUE(fx.guests[1]->integrity_ok());
+  EXPECT_EQ(fx.guests[1]->state(), guest::OsState::kRunning);
+  // vm0's object still believes it is suspended -- its image is simply
+  // gone. Recovery means provisioning a fresh VM.
+  EXPECT_EQ(fx.guests[0]->state(), guest::OsState::kSuspended);
+}
+
+TEST(FailureInjection, SuspendedStateSurvivesMultipleQuickReloads) {
+  // Preserved regions must survive not just one reload but any number of
+  // them before the resume happens (e.g. the first new VMM was also bad
+  // and was itself rejuvenated).
+  HostFixture fx(1);
+  auto cycle = [&fx] {
+    bool loaded = false;
+    fx.host->vmm().xexec_load([&] { loaded = true; });
+    run_until_flag(fx.sim, loaded);
+    if (fx.host->dom0_state() == vmm::Dom0State::kRunning) {
+      bool down = false;
+      fx.host->shutdown_dom0([&] { down = true; });
+      run_until_flag(fx.sim, down);
+    }
+    bool up = false;
+    fx.host->quick_reload([&] { up = true; });
+    run_until_flag(fx.sim, up);
+  };
+  bool suspended = false;
+  fx.host->vmm().suspend_all_on_memory([&] { suspended = true; });
+  run_until_flag(fx.sim, suspended);
+
+  bool loaded0 = false;
+  fx.host->vmm().xexec_load([&] { loaded0 = true; });
+  run_until_flag(fx.sim, loaded0);
+  bool down0 = false;
+  fx.host->shutdown_dom0([&] { down0 = true; });
+  run_until_flag(fx.sim, down0);
+  bool up0 = false;
+  fx.host->quick_reload([&] { up0 = true; });
+  run_until_flag(fx.sim, up0);
+
+  cycle();  // a second reload before anyone resumed
+
+  ASSERT_EQ(fx.host->preserved().size(), std::size_t{1});
+  bool resumed = false;
+  fx.host->vmm().resume_domain_on_memory("vm0", fx.guests[0].get(),
+                                         [&](DomainId) { resumed = true; });
+  run_until_flag(fx.sim, resumed);
+  EXPECT_TRUE(fx.guests[0]->integrity_ok());
+  EXPECT_EQ(fx.guests[0]->state(), guest::OsState::kRunning);
+}
+
+TEST(FailureInjection, TamperedPreservedPayloadIsRejected) {
+  HostFixture fx(1);
+  bool suspended = false;
+  fx.host->vmm().suspend_all_on_memory([&] { suspended = true; });
+  run_until_flag(fx.sim, suspended);
+  // Truncate the serialised record (bit-rot / buggy writer).
+  const auto* region = fx.host->preserved().find("domain/vm0");
+  ASSERT_NE(region, nullptr);
+  mm::PreservedRegion corrupted = *region;
+  corrupted.payload.resize(corrupted.payload.size() / 2);
+  fx.host->preserved().put(std::move(corrupted));
+
+  // The record is parsed when the (xend-serialised) resume executes.
+  bool resumed = false;
+  fx.host->vmm().resume_domain_on_memory("vm0", fx.guests[0].get(),
+                                         [&](DomainId) { resumed = true; });
+  EXPECT_THROW(
+      {
+        while (!resumed && fx.sim.pending_events() > 0) fx.sim.step();
+      },
+      InvariantViolation);
+  EXPECT_FALSE(resumed);
+}
+
+TEST(FailureInjection, WarmRebootUnderActiveWorkloadIsClean) {
+  // Requests in flight when the suspend lands must not corrupt anything;
+  // the fleet stalls and resumes.
+  HostFixture fx(0);
+  auto web = std::make_unique<guest::GuestOs>(*fx.host, "web", sim::kGiB);
+  auto& apache = static_cast<guest::ApacheService&>(
+      web->add_service(std::make_unique<guest::ApacheService>()));
+  std::vector<std::int64_t> files;
+  for (int f = 0; f < 30; ++f) {
+    files.push_back(web->vfs().create_file("f" + std::to_string(f),
+                                           512 * sim::kKiB));
+  }
+  guest::GuestOs* web_ptr = web.get();
+  fx.guests.push_back(std::move(web));
+  bool booted = false;
+  web_ptr->create_and_boot([&] { booted = true; });
+  run_until_flag(fx.sim, booted);
+
+  workload::HttpClientFleet fleet(*web_ptr, apache, files, {});
+  fleet.start();
+  fx.sim.run_for(5 * sim::kSecond);
+  const auto ok_before = fleet.requests_ok();
+
+  fx.rejuvenate(rejuv::RebootKind::kWarm);
+  fx.sim.run_for(40 * sim::kSecond);
+  fleet.stop();
+
+  EXPECT_TRUE(web_ptr->integrity_ok());
+  EXPECT_GT(fleet.requests_ok(), ok_before + 500);  // flow resumed
+  // All cached content survived: no stale-token evictions.
+  EXPECT_EQ(web_ptr->cache().stale_hits(), std::uint64_t{0});
+}
+
+TEST(FailureInjection, ResumeOfWrongGuestObjectStillChecksIntegrity) {
+  // An operator resumes a preserved image into a *different* GuestOs
+  // object (wrong hooks wiring). The signature check catches it.
+  HostFixture fx(1);
+  bool suspended = false;
+  fx.host->vmm().suspend_all_on_memory([&] { suspended = true; });
+  run_until_flag(fx.sim, suspended);
+
+  auto impostor =
+      std::make_unique<guest::GuestOs>(*fx.host, "impostor", sim::kGiB);
+  // Force the impostor into a suspended-looking state via its own boot +
+  // suspend is impossible (it has no domain); instead verify the API
+  // rejects a non-suspended hooks object cleanly.
+  bool resumed = false;
+  EXPECT_THROW(
+      {
+        fx.host->vmm().resume_domain_on_memory("vm0", impostor.get(),
+                                               [&](DomainId) { resumed = true; });
+        while (!resumed && fx.sim.pending_events() > 0) fx.sim.step();
+      },
+      InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "mm/frame_allocator.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(FrameAllocator, AllocateAssignsOwnership) {
+  mm::FrameAllocator a(100);
+  const auto frames = a.allocate(1, 10);
+  EXPECT_EQ(frames.size(), std::size_t{10});
+  EXPECT_EQ(a.free_frames(), 90);
+  EXPECT_EQ(a.owned_frames(1), 10);
+  for (const auto f : frames) EXPECT_EQ(a.owner_of(f), 1);
+}
+
+TEST(FrameAllocator, NoDoubleAllocation) {
+  mm::FrameAllocator a(100);
+  const auto f1 = a.allocate(1, 50);
+  const auto f2 = a.allocate(2, 50);
+  std::vector<bool> seen(100, false);
+  for (const auto f : f1) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(f)]);
+    seen[static_cast<std::size_t>(f)] = true;
+  }
+  for (const auto f : f2) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(f)]);
+    seen[static_cast<std::size_t>(f)] = true;
+  }
+}
+
+TEST(FrameAllocator, ExhaustionThrowsWithoutSideEffects) {
+  mm::FrameAllocator a(100);
+  a.allocate(1, 90);
+  EXPECT_THROW(a.allocate(2, 20), mm::OutOfMachineMemory);
+  EXPECT_EQ(a.free_frames(), 10);
+  EXPECT_EQ(a.owned_frames(2), 0);
+}
+
+TEST(FrameAllocator, ReleaseReturnsToPool) {
+  mm::FrameAllocator a(100);
+  const auto frames = a.allocate(1, 10);
+  a.release(frames[0]);
+  EXPECT_EQ(a.free_frames(), 91);
+  EXPECT_EQ(a.owner_of(frames[0]), kNoDomain);
+  EXPECT_THROW(a.release(frames[0]), InvariantViolation);  // double free
+}
+
+TEST(FrameAllocator, ReleaseAllFreesEverything) {
+  mm::FrameAllocator a(100);
+  a.allocate(1, 30);
+  a.allocate(2, 20);
+  EXPECT_EQ(a.release_all(1), 30);
+  EXPECT_EQ(a.free_frames(), 80);
+  EXPECT_EQ(a.owned_frames(1), 0);
+  EXPECT_EQ(a.owned_frames(2), 20);
+  EXPECT_EQ(a.release_all(1), 0);  // idempotent
+}
+
+TEST(FrameAllocator, ClaimTakesExactFrames) {
+  mm::FrameAllocator a(100);
+  const std::vector<hw::FrameNumber> wanted{5, 17, 42};
+  a.claim(7, wanted);
+  for (const auto f : wanted) EXPECT_EQ(a.owner_of(f), 7);
+  EXPECT_EQ(a.free_frames(), 97);
+  // Claiming an owned frame fails atomically (nothing is taken).
+  EXPECT_THROW(a.claim(8, std::vector<hw::FrameNumber>{1, 17}),
+               InvariantViolation);
+  EXPECT_EQ(a.owner_of(1), kNoDomain);
+}
+
+TEST(FrameAllocator, ReusesReleasedFramesAfterWrap) {
+  mm::FrameAllocator a(10);
+  const auto first = a.allocate(1, 10);
+  a.release_all(1);
+  const auto second = a.allocate(2, 10);  // cursor wraps
+  EXPECT_EQ(second.size(), std::size_t{10});
+  EXPECT_EQ(a.free_frames(), 0);
+}
+
+TEST(FrameAllocator, FramesOwnedByAscending) {
+  mm::FrameAllocator a(50);
+  a.allocate(1, 5);
+  a.allocate(2, 5);
+  a.allocate(1, 5);
+  const auto mine = a.frames_owned_by(1);
+  EXPECT_EQ(mine.size(), std::size_t{10});
+  for (std::size_t i = 1; i < mine.size(); ++i) EXPECT_LT(mine[i - 1], mine[i]);
+}
+
+TEST(FrameAllocator, FrameConservationInvariant) {
+  mm::FrameAllocator a(1000);
+  a.allocate(1, 100);
+  a.allocate(2, 200);
+  a.claim(3, std::vector<hw::FrameNumber>{900, 901});
+  a.release_all(2);
+  EXPECT_EQ(a.free_frames() + a.owned_frames(1) + a.owned_frames(2) +
+                a.owned_frames(3),
+            a.total_frames());
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "simcore/check.hpp"
+#include "simcore/histogram.hpp"
+#include "simcore/random.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(LatencyHistogram, BasicStats) {
+  sim::LatencyHistogram h;
+  EXPECT_EQ(h.count(), std::uint64_t{0});
+  EXPECT_EQ(h.percentile(50), 0);
+  for (const sim::Duration d : {100, 200, 300, 400, 500}) h.add(d);
+  EXPECT_EQ(h.count(), std::uint64_t{5});
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 500);
+  EXPECT_DOUBLE_EQ(h.mean(), 300.0);
+}
+
+TEST(LatencyHistogram, PercentilesWithinBucketAccuracy) {
+  sim::LatencyHistogram h;
+  // 990 fast requests at 5 ms, 10 slow at 1 s.
+  for (int i = 0; i < 990; ++i) h.add(5 * sim::kMillisecond);
+  for (int i = 0; i < 10; ++i) h.add(sim::kSecond);
+  const auto p50 = h.percentile(50);
+  const auto p99_5 = h.percentile(99.5);
+  // Log buckets: within ~±35 % of the true value.
+  EXPECT_GE(p50, 4 * sim::kMillisecond);
+  EXPECT_LE(p50, 8 * sim::kMillisecond);
+  EXPECT_GE(p99_5, 700 * sim::kMillisecond);
+  EXPECT_LE(p99_5, sim::kSecond);  // clamped at max
+}
+
+TEST(LatencyHistogram, PercentileMonotone) {
+  sim::LatencyHistogram h;
+  sim::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    h.add(rng.exponential_duration(20 * sim::kMillisecond));
+  }
+  sim::Duration prev = 0;
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    const auto v = h.percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_EQ(h.percentile(100), h.max());
+}
+
+TEST(LatencyHistogram, ExponentialMeanRecovered) {
+  sim::LatencyHistogram h;
+  sim::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    h.add(rng.exponential_duration(10 * sim::kMillisecond));
+  }
+  EXPECT_NEAR(h.mean(), 10e3, 300.0);
+  // p50 of an exponential is mean * ln 2 ~ 6.93 ms; bucket accuracy.
+  EXPECT_GE(h.percentile(50), 5 * sim::kMillisecond);
+  EXPECT_LE(h.percentile(50), 9 * sim::kMillisecond);
+}
+
+TEST(LatencyHistogram, MergeCombines) {
+  sim::LatencyHistogram a, b;
+  a.add(10);
+  a.add(20);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), std::uint64_t{3});
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_DOUBLE_EQ(a.mean(), (10 + 20 + 1000) / 3.0);
+}
+
+TEST(LatencyHistogram, ClearAndEdgeValues) {
+  sim::LatencyHistogram h;
+  h.add(0);  // clamps into the first bucket
+  h.add(sim::kHour);
+  EXPECT_EQ(h.count(), std::uint64_t{2});
+  h.clear();
+  EXPECT_EQ(h.count(), std::uint64_t{0});
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_THROW(h.add(-1), InvariantViolation);
+  EXPECT_THROW((void)h.percentile(101), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rh::test

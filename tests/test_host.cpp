@@ -1,0 +1,119 @@
+// Host-level lifecycle: dom0 state machine, reboot primitives, artifact.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(Host, InstantStartBringsEverythingUp) {
+  sim::Simulation s;
+  vmm::Host host(s, Calibration::paper_testbed());
+  EXPECT_FALSE(host.vmm_running());
+  EXPECT_FALSE(host.up());
+  host.instant_start();
+  EXPECT_TRUE(host.up());
+  EXPECT_TRUE(host.network_path_up());
+  EXPECT_EQ(host.dom0_state(), vmm::Dom0State::kRunning);
+  EXPECT_EQ(host.vmm_generation(), std::uint64_t{1});
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_THROW(host.instant_start(), InvariantViolation);
+}
+
+TEST(Host, Dom0ShutdownTimingAndStates) {
+  HostFixture fx(0);
+  bool down = false;
+  const sim::SimTime t0 = fx.sim.now();
+  fx.host->shutdown_dom0([&] { down = true; });
+  EXPECT_EQ(fx.host->dom0_state(), vmm::Dom0State::kShuttingDown);
+  EXPECT_TRUE(fx.host->network_path_up());  // bridge forwards until down
+  run_until_flag(fx.sim, down);
+  EXPECT_EQ(fx.host->dom0_state(), vmm::Dom0State::kDown);
+  EXPECT_FALSE(fx.host->network_path_up());
+  EXPECT_FALSE(fx.host->up());
+  EXPECT_NEAR(sim::to_seconds(fx.sim.now() - t0), 10.0, 0.01);
+  // Cannot shut down twice.
+  EXPECT_THROW(fx.host->shutdown_dom0([] {}), InvariantViolation);
+}
+
+TEST(Host, QuickReloadTimeline) {
+  HostFixture fx(0);
+  bool loaded = false;
+  fx.host->vmm().xexec_load([&] { loaded = true; });
+  run_until_flag(fx.sim, loaded);
+  bool down = false;
+  fx.host->shutdown_dom0([&] { down = true; });
+  run_until_flag(fx.sim, down);
+  const sim::SimTime t0 = fx.sim.now();
+  bool up = false;
+  fx.host->quick_reload([&] { up = true; });
+  run_until_flag(fx.sim, up);
+  // VMM ready ("reboot completed") at ~11.4 s, dom0 userland ~31.5 s later.
+  EXPECT_NEAR(sim::to_seconds(fx.host->vmm_ready_at() - t0), 11.4, 0.5);
+  EXPECT_NEAR(sim::to_seconds(fx.host->dom0_up_at() - t0), 42.9, 0.8);
+  EXPECT_EQ(fx.host->vmm_generation(), std::uint64_t{2});
+  EXPECT_TRUE(fx.host->up());
+}
+
+TEST(Host, HardwareRebootTakesMuchLonger) {
+  HostFixture fx(0);
+  bool down = false;
+  fx.host->shutdown_dom0([&] { down = true; });
+  run_until_flag(fx.sim, down);
+  const sim::SimTime t0 = fx.sim.now();
+  bool up = false;
+  fx.host->hardware_reboot([&] { up = true; });
+  run_until_flag(fx.sim, up);
+  // POST 43.4 + bootloader 5 + VMM ~11.4 + dom0 31.5 ~ 91 s.
+  EXPECT_NEAR(sim::to_seconds(fx.sim.now() - t0), 91.0, 2.0);
+  EXPECT_EQ(fx.host->machine().reset_count(), std::uint64_t{1});
+}
+
+TEST(Host, VmmAccessWhileDownThrows) {
+  HostFixture fx(0);
+  bool down = false;
+  fx.host->shutdown_dom0([&] { down = true; });
+  run_until_flag(fx.sim, down);
+  bool loaded_is_irrelevant = false;
+  (void)loaded_is_irrelevant;
+  // Take the VMM down via hardware reboot and query mid-flight.
+  fx.host->hardware_reboot([] {});
+  EXPECT_FALSE(fx.host->vmm_running());
+  EXPECT_THROW((void)fx.host->vmm(), InvariantViolation);
+  fx.sim.run_for(5 * sim::kMinute);
+  EXPECT_TRUE(fx.host->vmm_running());
+}
+
+TEST(Host, CreationArtifactWindowAndFactor) {
+  HostFixture fx(0);
+  EXPECT_DOUBLE_EQ(fx.host->throughput_factor(), 1.0);
+  fx.host->note_simultaneous_creations(1);  // one creation: no artifact
+  EXPECT_DOUBLE_EQ(fx.host->throughput_factor(), 1.0);
+  fx.host->note_simultaneous_creations(5);
+  EXPECT_DOUBLE_EQ(fx.host->throughput_factor(), 0.45);
+  fx.sim.run_for(24 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(fx.host->throughput_factor(), 0.45);
+  fx.sim.run_for(2 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(fx.host->throughput_factor(), 1.0);
+}
+
+TEST(Host, ArtifactDisabledByCalibration) {
+  Calibration calib;
+  calib.model_xen_creation_artifact = false;
+  HostFixture fx(0, calib);
+  fx.host->note_simultaneous_creations(10);
+  EXPECT_DOUBLE_EQ(fx.host->throughput_factor(), 1.0);
+}
+
+TEST(Host, InvalidCalibrationRejected) {
+  sim::Simulation s;
+  Calibration bad;
+  bad.page_cache_fraction = 1.5;
+  EXPECT_THROW(vmm::Host(s, bad), InvariantViolation);
+  Calibration bad2;
+  bad2.machine.ram = 256 * sim::kMiB;  // cannot hold dom0 + VMM
+  EXPECT_THROW(vmm::Host(s, bad2), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "hw/machine_memory.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(MachineMemory, SizesRoundToFrames) {
+  hw::MachineMemory m(1 * sim::kGiB + 100);
+  EXPECT_EQ(m.frame_count(), 262144);
+  EXPECT_EQ(m.size(), 1 * sim::kGiB);
+}
+
+TEST(MachineMemory, ReadWriteRoundTrip) {
+  hw::MachineMemory m(sim::kMiB);
+  m.write(3, 0xabcdef);
+  EXPECT_EQ(m.read(3), 0xabcdefu);
+  EXPECT_EQ(m.read(4), hw::kScrubbed);
+}
+
+TEST(MachineMemory, PopulatedFrameAccounting) {
+  hw::MachineMemory m(sim::kMiB);
+  EXPECT_EQ(m.populated_frames(), 0);
+  m.write(0, 1);
+  m.write(1, 2);
+  EXPECT_EQ(m.populated_frames(), 2);
+  m.write(0, 3);  // overwrite: still populated
+  EXPECT_EQ(m.populated_frames(), 2);
+  m.scrub(0);
+  EXPECT_EQ(m.populated_frames(), 1);
+  m.scrub(0);  // double-scrub is a no-op
+  EXPECT_EQ(m.populated_frames(), 1);
+}
+
+TEST(MachineMemory, PowerCycleDestroysEverything) {
+  hw::MachineMemory m(sim::kMiB);
+  for (hw::FrameNumber f = 0; f < m.frame_count(); ++f) {
+    m.write(f, static_cast<hw::ContentToken>(f + 1));
+  }
+  EXPECT_EQ(m.populated_frames(), m.frame_count());
+  m.power_cycle();
+  EXPECT_EQ(m.populated_frames(), 0);
+  for (hw::FrameNumber f = 0; f < m.frame_count(); ++f) {
+    EXPECT_EQ(m.read(f), hw::kScrubbed);
+  }
+  EXPECT_EQ(m.power_cycles(), std::uint64_t{1});
+}
+
+TEST(MachineMemory, OutOfRangeAccessThrows) {
+  hw::MachineMemory m(sim::kMiB);
+  EXPECT_THROW((void)m.read(-1), InvariantViolation);
+  EXPECT_THROW((void)m.read(m.frame_count()), InvariantViolation);
+  EXPECT_THROW(m.write(m.frame_count(), 1), InvariantViolation);
+}
+
+TEST(MachineMemory, RejectsSubFrameSize) {
+  EXPECT_THROW(hw::MachineMemory(100), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "hw/bios.hpp"
+#include "hw/machine.hpp"
+#include "hw/nic.hpp"
+#include "simcore/simulation.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(Nic, TransferTimingIncludesOverhead) {
+  sim::Simulation s;
+  hw::Nic nic(s, {100.0e6, 50});
+  sim::SimTime done_at = 0;
+  nic.transmit(100'000'000, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_EQ(done_at, sim::kSecond + 50);
+}
+
+TEST(Nic, TransfersShareBandwidthFifo) {
+  sim::Simulation s;
+  hw::Nic nic(s, {100.0e6, 0});
+  sim::SimTime t1 = 0, t2 = 0;
+  nic.transmit(50'000'000, [&] { t1 = s.now(); });
+  nic.transmit(50'000'000, [&] { t2 = s.now(); });
+  s.run();
+  EXPECT_EQ(t1, sim::kSecond / 2);
+  EXPECT_EQ(t2, sim::kSecond);
+  EXPECT_EQ(nic.bytes_sent(), 100'000'000);
+  EXPECT_EQ(nic.packets_sent(), std::uint64_t{2});
+}
+
+TEST(Bios, PostScalesWithInstalledRam) {
+  const hw::Bios bios(hw::BiosModel{8 * sim::kSecond, 3 * sim::kSecond,
+                                    2700 * sim::kMillisecond});
+  const auto post12 = bios.post_duration(12 * sim::kGiB);
+  const auto post2 = bios.post_duration(2 * sim::kGiB);
+  // The paper's testbed: POST(12 GiB) ~ 43 s.
+  EXPECT_NEAR(sim::to_seconds(post12), 43.4, 0.1);
+  // 10 GiB less RAM saves 27 s of memory check.
+  EXPECT_NEAR(sim::to_seconds(post12 - post2), 27.0, 0.1);
+}
+
+TEST(Machine, HardwareResetGoesThroughPost) {
+  sim::Simulation s;
+  hw::MachineSpec spec;
+  spec.ram = 2 * sim::kGiB;
+  hw::Machine m(s, spec);
+  m.memory().write(0, 42);
+  EXPECT_EQ(m.power_state(), hw::PowerState::kRunning);
+  sim::SimTime post_done = 0;
+  m.hardware_reset([&] { post_done = s.now(); });
+  EXPECT_EQ(m.power_state(), hw::PowerState::kPost);
+  // Memory dies at reset time, not at POST completion.
+  EXPECT_EQ(m.memory().read(0), hw::kScrubbed);
+  s.run();
+  EXPECT_EQ(post_done, m.bios().post_duration(spec.ram));
+  EXPECT_EQ(m.reset_count(), std::uint64_t{1});
+  m.set_running();
+  EXPECT_EQ(m.power_state(), hw::PowerState::kRunning);
+}
+
+}  // namespace
+}  // namespace rh::test

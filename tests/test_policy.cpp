@@ -1,0 +1,107 @@
+// Time-based rejuvenation policy: scheduling, rescheduling after cold
+// reboots, mutual exclusion, heap-pressure trigger.
+#include <gtest/gtest.h>
+
+#include "rejuv/policy.hpp"
+#include "test_util.hpp"
+
+namespace rh::test {
+namespace {
+
+/// Short intervals so tests run days, not weeks, of simulated time.
+rejuv::RejuvenationPolicy::Config fast_config(rejuv::RebootKind kind) {
+  rejuv::RejuvenationPolicy::Config cfg;
+  cfg.os_interval = 6 * sim::kHour;
+  cfg.vmm_interval = 24 * sim::kHour;
+  cfg.os_stagger = 20 * sim::kMinute;
+  cfg.vmm_reboot_kind = kind;
+  return cfg;
+}
+
+TEST(Policy, RunsOsAndVmmRejuvenationsOnSchedule) {
+  HostFixture fx(2);
+  rejuv::RejuvenationPolicy policy(*fx.host, fx.guest_ptrs(),
+                                   fast_config(rejuv::RebootKind::kWarm));
+  policy.start();
+  fx.sim.run_for(25 * sim::kHour);
+  // Each guest: OS rejuvenation at ~6, 12, 18, 24 h -> ~4 each; VMM at 24 h.
+  EXPECT_EQ(policy.vmm_rejuvenations(), std::uint64_t{1});
+  EXPECT_NEAR(static_cast<double>(policy.os_rejuvenations()), 8.0, 1.0);
+  for (auto& g : fx.guests) {
+    EXPECT_EQ(g->state(), guest::OsState::kRunning);
+  }
+}
+
+TEST(Policy, WarmRebootDoesNotResetOsTimers) {
+  HostFixture fx(1);
+  rejuv::RejuvenationPolicy policy(*fx.host, fx.guest_ptrs(),
+                                   fast_config(rejuv::RebootKind::kWarm));
+  policy.start();
+  fx.sim.run_for(30 * sim::kHour);
+  // OS rejuvenations at 6, 12, 18, 24(ish, post-VMM retry), 30 h: >= 4.
+  // The service generation counts OS reboots + initial boot.
+  EXPECT_GE(policy.os_rejuvenations(), std::uint64_t{4});
+  // Warm VMM rejuvenation did not restart services beyond the OS reboots.
+  EXPECT_EQ(fx.guests[0]->find_service("sshd")->generation(),
+            policy.os_rejuvenations() + 1);
+}
+
+TEST(Policy, ColdRebootResetsOsTimers) {
+  HostFixture fx(1);
+  rejuv::RejuvenationPolicy policy(*fx.host, fx.guest_ptrs(),
+                                   fast_config(rejuv::RebootKind::kCold));
+  policy.start();
+  // Run to just after the VMM rejuvenation at 24 h.
+  fx.sim.run_for(25 * sim::kHour);
+  const auto os_count = policy.os_rejuvenations();
+  EXPECT_EQ(policy.vmm_rejuvenations(), std::uint64_t{1});
+  // The next OS rejuvenation comes a full interval after the cold reboot
+  // (~30 h), not at the old phase.
+  fx.sim.run_for(4 * sim::kHour);  // t = 29 h
+  EXPECT_EQ(policy.os_rejuvenations(), os_count);
+  fx.sim.run_for(2 * sim::kHour);  // t = 31 h > 24h-reboot + 6 h
+  EXPECT_EQ(policy.os_rejuvenations(), os_count + 1);
+}
+
+TEST(Policy, HeapPressureTriggersEarlyVmmRejuvenation) {
+  Calibration calib;
+  calib.heap_leak_per_domain_cycle = 512 * sim::kKiB;  // aggressive aging
+  HostFixture fx(1, calib);
+  auto cfg = fast_config(rejuv::RebootKind::kWarm);
+  cfg.os_interval = 2 * sim::kHour;  // frequent OS reboots leak heap fast
+  cfg.vmm_interval = 10 * 24 * sim::kHour;  // timer alone would be too late
+  cfg.heap_pressure_threshold = 0.5;
+  rejuv::RejuvenationPolicy policy(*fx.host, fx.guest_ptrs(), cfg);
+  policy.start();
+  fx.sim.run_for(40 * sim::kHour);
+  // 16 MiB heap, 0.5 MiB leaked per OS reboot (destroy+create): pressure
+  // crosses 0.5 well within 40 h and the policy rejuvenates early.
+  ASSERT_GE(policy.vmm_rejuvenations(), std::uint64_t{1});
+  bool saw_heap_trigger = false;
+  for (const auto& e : policy.events()) {
+    saw_heap_trigger |= e.is_vmm && e.heap_triggered;
+  }
+  EXPECT_TRUE(saw_heap_trigger);
+  // Rejuvenation rebuilt the heap: pressure is low again.
+  EXPECT_LT(fx.host->vmm().heap().pressure(), 0.3);
+}
+
+TEST(Policy, EventsRecordDurations) {
+  HostFixture fx(1);
+  rejuv::RejuvenationPolicy policy(*fx.host, fx.guest_ptrs(),
+                                   fast_config(rejuv::RebootKind::kWarm));
+  policy.start();
+  fx.sim.run_for(25 * sim::kHour);
+  ASSERT_FALSE(policy.events().empty());
+  for (const auto& e : policy.events()) {
+    EXPECT_GT(e.duration, 0);
+    if (e.is_vmm) {
+      EXPECT_NEAR(sim::to_seconds(e.duration), 53.0, 10.0);
+    } else {
+      EXPECT_NEAR(sim::to_seconds(e.duration), 17.0, 6.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rh::test

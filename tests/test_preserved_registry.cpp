@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "mm/preserved_registry.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::test {
+namespace {
+
+mm::PreservedRegion make_region(const std::string& name, std::size_t payload,
+                                std::vector<hw::FrameNumber> frames) {
+  mm::PreservedRegion r;
+  r.name = name;
+  r.payload.assign(payload, std::byte{0x5a});
+  r.frozen_frames = std::move(frames);
+  return r;
+}
+
+TEST(PreservedRegistry, PutFindErase) {
+  mm::PreservedRegionRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.put(make_region("domain/a", 100, {1, 2, 3}));
+  ASSERT_NE(reg.find("domain/a"), nullptr);
+  EXPECT_EQ(reg.find("domain/a")->frozen_frames.size(), std::size_t{3});
+  EXPECT_EQ(reg.find("nope"), nullptr);
+  EXPECT_TRUE(reg.erase("domain/a"));
+  EXPECT_FALSE(reg.erase("domain/a"));
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(PreservedRegistry, PutReplacesByName) {
+  mm::PreservedRegionRegistry reg;
+  reg.put(make_region("x", 10, {1}));
+  reg.put(make_region("x", 20, {2, 3}));
+  EXPECT_EQ(reg.size(), std::size_t{1});
+  EXPECT_EQ(reg.find("x")->payload.size(), std::size_t{20});
+  EXPECT_EQ(reg.names(), std::vector<std::string>{"x"});
+}
+
+TEST(PreservedRegistry, NamesKeepInsertionOrder) {
+  mm::PreservedRegionRegistry reg;
+  reg.put(make_region("c", 1, {}));
+  reg.put(make_region("a", 1, {}));
+  reg.put(make_region("b", 1, {}));
+  reg.erase("a");
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"c", "b"}));
+}
+
+TEST(PreservedRegistry, AggregatesFrozenFramesAndPayload) {
+  mm::PreservedRegionRegistry reg;
+  reg.put(make_region("a", 100, {1, 2}));
+  reg.put(make_region("b", 50, {7}));
+  EXPECT_EQ(reg.all_frozen_frames(),
+            (std::vector<hw::FrameNumber>{1, 2, 7}));
+  EXPECT_EQ(reg.payload_bytes(), 150);
+}
+
+TEST(PreservedRegistry, ClearModelsPowerLoss) {
+  mm::PreservedRegionRegistry reg;
+  reg.put(make_region("a", 10, {1}));
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.payload_bytes(), 0);
+  EXPECT_TRUE(reg.names().empty());
+}
+
+TEST(PreservedRegistry, RejectsUnnamedRegion) {
+  mm::PreservedRegionRegistry reg;
+  EXPECT_THROW(reg.put(make_region("", 1, {})), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rh::test

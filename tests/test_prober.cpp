@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "simcore/simulation.hpp"
+#include "workload/prober.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(Prober, RecordsTransitionsOnly) {
+  sim::Simulation s;
+  bool up = true;
+  workload::Prober p(s, {}, [&] { return up; });
+  p.start();
+  s.run_until(sim::kSecond);
+  s.after(0, [&] { up = false; });
+  s.run_until(2 * sim::kSecond);
+  s.after(0, [&] { up = true; });
+  s.run_until(3 * sim::kSecond);
+  p.stop();
+  // first probe (up), down transition, up transition.
+  ASSERT_EQ(p.transitions().size(), std::size_t{3});
+  EXPECT_TRUE(p.transitions()[0].up);
+  EXPECT_FALSE(p.transitions()[1].up);
+  EXPECT_TRUE(p.transitions()[2].up);
+}
+
+TEST(Prober, OutageMeasurement) {
+  sim::Simulation s;
+  bool up = true;
+  workload::Prober p(s, {}, [&] { return up; });
+  p.start();
+  s.at(5 * sim::kSecond, [&] { up = false; });
+  s.at(25 * sim::kSecond, [&] { up = true; });
+  s.run_until(sim::kMinute);
+  p.stop();
+  const auto outage = p.outage_after(0);
+  ASSERT_TRUE(outage.has_value());
+  // 20 s outage, measured to probe resolution (100 ms).
+  EXPECT_NEAR(sim::to_seconds(*outage), 20.0, 0.3);
+  EXPECT_NEAR(sim::to_seconds(p.down_at_after(0).value()), 5.0, 0.2);
+  EXPECT_FALSE(p.outage_after(30 * sim::kSecond).has_value());
+}
+
+TEST(Prober, UnfinishedOutageNotReported) {
+  sim::Simulation s;
+  bool up = true;
+  workload::Prober p(s, {}, [&] { return up; });
+  p.start();
+  s.at(5 * sim::kSecond, [&] { up = false; });
+  s.run_until(sim::kMinute);
+  EXPECT_TRUE(p.down_at_after(0).has_value());
+  EXPECT_FALSE(p.outage_after(0).has_value());  // never came back
+  EXPECT_FALSE(p.currently_up());
+}
+
+TEST(Prober, TotalDowntimeAcrossMultipleOutages) {
+  sim::Simulation s;
+  bool up = true;
+  workload::Prober p(s, {}, [&] { return up; });
+  p.start();
+  s.at(10 * sim::kSecond, [&] { up = false; });
+  s.at(15 * sim::kSecond, [&] { up = true; });
+  s.at(30 * sim::kSecond, [&] { up = false; });
+  s.at(40 * sim::kSecond, [&] { up = true; });
+  s.run_until(sim::kMinute);
+  p.stop();
+  EXPECT_NEAR(sim::to_seconds(p.total_downtime(0, sim::kMinute)), 15.0, 0.5);
+  // Clipped windows count only the overlap.
+  EXPECT_NEAR(sim::to_seconds(p.total_downtime(12 * sim::kSecond,
+                                               14 * sim::kSecond)),
+              2.0, 0.3);
+}
+
+TEST(Prober, StopCancelsFutureProbes) {
+  sim::Simulation s;
+  int calls = 0;
+  workload::Prober p(s, {}, [&] {
+    ++calls;
+    return true;
+  });
+  p.start();
+  s.run_until(sim::kSecond);
+  p.stop();
+  const int at_stop = calls;
+  s.run_until(10 * sim::kSecond);
+  EXPECT_EQ(calls, at_stop);
+  EXPECT_EQ(p.probes_sent(), static_cast<std::uint64_t>(calls));
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "simcore/check.hpp"
+#include "simcore/random.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  sim::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  sim::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  sim::Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  sim::Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(3, 8);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 8);
+    saw_lo |= v == 3;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(r.uniform_int(5, 4), InvariantViolation);
+}
+
+TEST(Rng, ExponentialMeanIsRight) {
+  sim::Rng r(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  sim::Rng r(13);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, NormalDurationClampsAtMin) {
+  sim::Rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.normal_duration(10, 1000, 0), 0);
+  }
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  sim::Rng r(19);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, IndexStaysInBounds) {
+  sim::Rng r(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.index(7), std::size_t{7});
+  EXPECT_THROW(r.index(0), InvariantViolation);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  sim::Rng r(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  sim::Rng a(31);
+  sim::Rng child = a.split();
+  // Child continues deterministically but differs from the parent.
+  sim::Rng a2(31);
+  sim::Rng child2 = a2.split();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child.next(), child2.next());
+  EXPECT_NE(child.next(), a.next());
+}
+
+}  // namespace
+}  // namespace rh::test

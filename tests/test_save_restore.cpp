@@ -1,0 +1,152 @@
+// Xen-style disk-backed save/restore (the saved-VM baseline).
+#include <gtest/gtest.h>
+
+#include "mm/balloon.hpp"
+#include "test_util.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(SaveRestore, SaveWritesImageAndDestroysDomain) {
+  HostFixture fx(1);
+  auto& vmm = fx.host->vmm();
+  const DomainId id = fx.guests[0]->domain_id();
+  const auto free_before = vmm.allocator().free_frames();
+
+  bool saved = false;
+  vmm.save_domain_to_disk(id, fx.host->images(), [&] { saved = true; });
+  run_until_flag(fx.sim, saved);
+
+  EXPECT_EQ(vmm.find_domain(id), nullptr);  // destroyed after save
+  EXPECT_EQ(vmm.allocator().free_frames(), free_before + 262144);
+  const auto* img = fx.host->images().find("vm0");
+  ASSERT_NE(img, nullptr);
+  EXPECT_EQ(img->memory_size, sim::kGiB);
+  EXPECT_EQ(img->pfn_count, 262144);
+}
+
+TEST(SaveRestore, SaveTimeScalesWithMemory) {
+  auto save_time = [](sim::Bytes memory) {
+    HostFixture fx(0);
+    auto& g = fx.add_vm("big", memory);
+    const sim::SimTime t0 = fx.sim.now();
+    bool done = false;
+    fx.host->vmm().save_domain_to_disk(g.domain_id(), fx.host->images(),
+                                       [&] { done = true; });
+    run_until_flag(fx.sim, done);
+    return sim::to_seconds(fx.sim.now() - t0);
+  };
+  const double t1 = save_time(1 * sim::kGiB);
+  const double t4 = save_time(4 * sim::kGiB);
+  // Proportional to the image (75 MB/s effective, plus fixed prep).
+  EXPECT_NEAR((t4 - t1), 3.0 * 1.074e9 / 75.0e6, 1.0);
+}
+
+TEST(SaveRestore, RestoreRebuildsContentExactly) {
+  HostFixture fx(1);
+  auto& vmm = fx.host->vmm();
+  auto& g = *fx.guests[0];
+  const DomainId id = g.domain_id();
+  // Recognisable guest memory contents.
+  for (mm::Pfn pfn = 10; pfn < 20; ++pfn) {
+    vmm.guest_write(id, pfn, 0x9000 + static_cast<hw::ContentToken>(pfn));
+  }
+  const auto exec_before = vmm.domain(id).exec();
+
+  bool saved = false;
+  vmm.save_domain_to_disk(id, fx.host->images(), [&] { saved = true; });
+  run_until_flag(fx.sim, saved);
+
+  bool restored = false;
+  DomainId new_id = kNoDomain;
+  vmm.restore_domain_from_disk("vm0", fx.host->images(), &g, [&](DomainId nid) {
+    new_id = nid;
+    restored = true;
+  });
+  run_until_flag(fx.sim, restored);
+
+  for (mm::Pfn pfn = 10; pfn < 20; ++pfn) {
+    EXPECT_EQ(vmm.guest_read(new_id, pfn),
+              0x9000 + static_cast<hw::ContentToken>(pfn));
+  }
+  EXPECT_EQ(vmm.domain(new_id).exec().cpu_context, exec_before.cpu_context);
+  EXPECT_EQ(g.state(), guest::OsState::kRunning);
+  EXPECT_TRUE(g.integrity_ok());
+  // The image was consumed.
+  EXPECT_EQ(fx.host->images().find("vm0"), nullptr);
+}
+
+TEST(SaveRestore, ImagesSurviveHardwareReset) {
+  HostFixture fx(1);
+  auto& g = *fx.guests[0];
+  bool saved = false;
+  fx.host->vmm().save_domain_to_disk(g.domain_id(), fx.host->images(),
+                                     [&] { saved = true; });
+  run_until_flag(fx.sim, saved);
+
+  bool down = false;
+  fx.host->shutdown_dom0([&] { down = true; });
+  run_until_flag(fx.sim, down);
+  bool up = false;
+  fx.host->hardware_reboot([&] { up = true; });
+  run_until_flag(fx.sim, up);
+
+  // Disk contents (unlike RAM) survive the power cycle.
+  ASSERT_NE(fx.host->images().find("vm0"), nullptr);
+  bool restored = false;
+  fx.host->vmm().restore_domain_from_disk("vm0", fx.host->images(), &g,
+                                          [&](DomainId) { restored = true; });
+  run_until_flag(fx.sim, restored);
+  EXPECT_TRUE(g.integrity_ok());
+  EXPECT_EQ(g.state(), guest::OsState::kRunning);
+}
+
+TEST(SaveRestore, ConcurrentSavesSerialiseOnDisk) {
+  HostFixture fx(3);
+  auto& vmm = fx.host->vmm();
+  std::vector<sim::SimTime> completions;
+  for (auto& g : fx.guests) {
+    vmm.save_domain_to_disk(g->domain_id(), fx.host->images(),
+                            [&] { completions.push_back(fx.sim.now()); });
+  }
+  while (completions.size() < 3 && fx.sim.pending_events() > 0) fx.sim.step();
+  ASSERT_EQ(completions.size(), std::size_t{3});
+  // Spaced by one full image write each (~19 s), not simultaneous.
+  EXPECT_GT(completions[1] - completions[0], sim::from_seconds(15.0));
+  EXPECT_GT(completions[2] - completions[1], sim::from_seconds(15.0));
+}
+
+TEST(SaveRestore, RestoreOfUnknownImageThrows) {
+  HostFixture fx(1);
+  EXPECT_THROW(fx.host->vmm().restore_domain_from_disk(
+                   "ghost", fx.host->images(), fx.guests[0].get(),
+                   [](DomainId) {}),
+               InvariantViolation);
+}
+
+TEST(SaveRestore, BalloonedDomainRoundTripsShape) {
+  HostFixture fx(1);
+  auto& vmm = fx.host->vmm();
+  auto& g = *fx.guests[0];
+  const DomainId id = g.domain_id();
+  // Balloon out 1000 pages before saving.
+  mm::BalloonDriver balloon(id, vmm.allocator(), vmm.domain(id).p2m());
+  balloon.inflate(1000);
+  const auto populated_before = vmm.domain(id).p2m().populated();
+
+  bool saved = false;
+  vmm.save_domain_to_disk(id, fx.host->images(), [&] { saved = true; });
+  run_until_flag(fx.sim, saved);
+  bool restored = false;
+  DomainId nid = kNoDomain;
+  vmm.restore_domain_from_disk("vm0", fx.host->images(), &g, [&](DomainId d) {
+    nid = d;
+    restored = true;
+  });
+  run_until_flag(fx.sim, restored);
+  EXPECT_EQ(vmm.domain(nid).p2m().populated(), populated_before);
+  EXPECT_EQ(vmm.allocator().owned_frames(nid), populated_before);
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "simcore/check.hpp"
+#include "simcore/script.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(Script, RunsStepsSequentiallyAndRecordsTiming) {
+  sim::Simulation s;
+  sim::Script script(s);
+  std::vector<std::string> order;
+  script.step("a", [&] {
+    order.push_back("a");
+    return sim::Duration{100};
+  });
+  script.pause("b", 50);
+  script.step_async("c", [&](std::function<void()> done) {
+    order.push_back("c");
+    s.after(25, std::move(done));
+  });
+  bool completed = false;
+  script.run([&] { completed = true; });
+  s.run();
+  ASSERT_TRUE(completed);
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "c"}));
+  ASSERT_EQ(script.records().size(), std::size_t{3});
+  EXPECT_EQ(script.record("a").duration(), 100);
+  EXPECT_EQ(script.record("b").duration(), 50);
+  EXPECT_EQ(script.record("c").duration(), 25);
+  EXPECT_EQ(script.record("b").start, script.record("a").end);
+  EXPECT_EQ(script.total_duration(), 175);
+}
+
+TEST(Script, CompletionFiresAtLastStepEnd) {
+  sim::Simulation s;
+  sim::Script script(s);
+  script.pause("only", 42);
+  sim::SimTime done_at = -1;
+  script.run([&] { done_at = s.now(); });
+  s.run();
+  EXPECT_EQ(done_at, 42);
+}
+
+TEST(Script, RejectsEmptyAndMisuse) {
+  sim::Simulation s;
+  sim::Script script(s);
+  EXPECT_THROW(script.run([] {}), InvariantViolation);  // no steps
+  script.pause("x", 1);
+  EXPECT_THROW((void)script.record("x"), InvariantViolation);  // not run yet
+  EXPECT_THROW((void)script.total_duration(), InvariantViolation);
+  EXPECT_THROW(script.pause("neg", -1), InvariantViolation);
+}
+
+TEST(Script, CannotAddStepsWhileRunning) {
+  sim::Simulation s;
+  sim::Script script(s);
+  script.pause("x", 100);
+  script.run([] {});
+  EXPECT_TRUE(script.running());
+  EXPECT_THROW(script.pause("y", 1), InvariantViolation);
+  s.run();
+  EXPECT_FALSE(script.running());
+}
+
+TEST(Script, NegativeStepDurationRejected) {
+  sim::Simulation s;
+  sim::Script script(s);
+  script.step("bad", [] { return sim::Duration{-5}; });
+  // The first step executes inline when the script starts.
+  EXPECT_THROW(script.run([] {}), InvariantViolation);
+}
+
+TEST(Script, CanRerunAfterCompletion) {
+  sim::Simulation s;
+  sim::Script script(s);
+  int runs = 0;
+  script.step("count", [&] {
+    ++runs;
+    return sim::Duration{10};
+  });
+  script.run([] {});
+  s.run();
+  script.run([] {});
+  s.run();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(script.records().size(), std::size_t{1});  // cleared per run
+}
+
+}  // namespace
+}  // namespace rh::test

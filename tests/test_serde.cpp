@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "mm/serde.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(Serde, RoundTripsAllTypes) {
+  mm::ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.str("hello, world");
+  w.i64_vector({1, -1, 1000000});
+  const auto blob = w.take();
+
+  mm::ByteReader r(blob);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.str(), "hello, world");
+  EXPECT_EQ(r.i64_vector(), (std::vector<std::int64_t>{1, -1, 1000000}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serde, EmptyStringAndVector) {
+  mm::ByteWriter w;
+  w.str("");
+  w.i64_vector({});
+  const auto blob = w.take();
+  mm::ByteReader r(blob);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.i64_vector().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serde, TruncatedPayloadThrows) {
+  mm::ByteWriter w;
+  w.u64(7);
+  auto blob = w.take();
+  blob.pop_back();
+  mm::ByteReader r(blob);
+  EXPECT_THROW(r.u64(), InvariantViolation);
+}
+
+TEST(Serde, TruncatedStringLengthThrows) {
+  mm::ByteWriter w;
+  w.u32(100);  // declares a 100-char string with no body
+  const auto blob = w.take();
+  mm::ByteReader r(blob);
+  EXPECT_THROW(r.str(), InvariantViolation);
+}
+
+TEST(Serde, LittleEndianLayout) {
+  mm::ByteWriter w;
+  w.u32(0x01020304);
+  const auto blob = w.take();
+  ASSERT_EQ(blob.size(), std::size_t{4});
+  EXPECT_EQ(std::to_integer<int>(blob[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(blob[3]), 0x01);
+}
+
+}  // namespace
+}  // namespace rh::test

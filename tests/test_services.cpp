@@ -1,0 +1,128 @@
+// Service lifecycle + the three concrete services.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(Services, StartStopLifecycle) {
+  HostFixture fx(0);
+  auto& g = fx.add_vm("vm", sim::kGiB);
+  auto* ssh = g.find_service("sshd");
+  EXPECT_TRUE(ssh->running());
+  EXPECT_EQ(ssh->generation(), std::uint64_t{1});
+  bool stopped = false;
+  ssh->stop(g, [&] { stopped = true; });
+  EXPECT_FALSE(ssh->running());  // refuses requests immediately
+  run_until_flag(fx.sim, stopped);
+  bool started = false;
+  ssh->start(g, [&] { started = true; });
+  run_until_flag(fx.sim, started);
+  EXPECT_EQ(ssh->generation(), std::uint64_t{2});
+}
+
+TEST(Services, DoubleStartRejectedStopIdempotent) {
+  HostFixture fx(0);
+  auto& g = fx.add_vm("vm", sim::kGiB);
+  auto* ssh = g.find_service("sshd");
+  EXPECT_THROW(ssh->start(g, [] {}), InvariantViolation);
+  bool s1 = false, s2 = false;
+  ssh->stop(g, [&] { s1 = true; });
+  ssh->stop(g, [&] { s2 = true; });  // already stopping: immediate
+  EXPECT_TRUE(s2);
+  run_until_flag(fx.sim, s1);
+}
+
+TEST(Services, JbossStartsMuchSlowerThanSsh) {
+  HostFixture fx(0);
+  auto g = std::make_unique<guest::GuestOs>(*fx.host, "app", sim::kGiB);
+  auto& ssh = g->add_service(std::make_unique<guest::SshService>());
+  auto& jboss = g->add_service(std::make_unique<guest::JbossService>());
+  (void)ssh;
+  const sim::SimTime t0 = fx.sim.now();
+  bool up = false;
+  g->create_and_boot([&] { up = true; });
+  run_until_flag(fx.sim, up);
+  // JBoss alone adds >= 16 s of CPU + ~5 s of jar reads.
+  EXPECT_GT(sim::to_seconds(fx.sim.now() - t0), 25.0);
+  EXPECT_TRUE(jboss.running());
+}
+
+TEST(Services, ApacheServesOnlyWhenReachable) {
+  HostFixture fx(0);
+  auto g = std::make_unique<guest::GuestOs>(*fx.host, "web", sim::kGiB);
+  auto& apache = static_cast<guest::ApacheService&>(
+      g->add_service(std::make_unique<guest::ApacheService>()));
+  const auto file = g->vfs().create_file("doc", 512 * sim::kKiB);
+  // Not booted: refused.
+  bool refused = false;
+  apache.serve_file(*g, file, [&](bool served) { refused = !served; });
+  EXPECT_TRUE(refused);
+  EXPECT_EQ(apache.requests_refused(), std::uint64_t{1});
+
+  bool up = false;
+  g->create_and_boot([&] { up = true; });
+  run_until_flag(fx.sim, up);
+  bool served = false;
+  apache.serve_file(*g, file, [&](bool s) { served = s; });
+  fx.sim.run_for(sim::kSecond);
+  EXPECT_TRUE(served);
+  EXPECT_EQ(apache.requests_served(), std::uint64_t{1});
+}
+
+TEST(Services, ApacheCachedVsUncachedLatency) {
+  HostFixture fx(0);
+  auto g = std::make_unique<guest::GuestOs>(*fx.host, "web", sim::kGiB);
+  auto& apache = static_cast<guest::ApacheService&>(
+      g->add_service(std::make_unique<guest::ApacheService>()));
+  const auto file = g->vfs().create_file("doc", 512 * sim::kKiB);
+  bool up = false;
+  g->create_and_boot([&] { up = true; });
+  run_until_flag(fx.sim, up);
+
+  auto serve = [&] {
+    const sim::SimTime t0 = fx.sim.now();
+    bool done = false;
+    apache.serve_file(*g, file, [&](bool) { done = true; });
+    run_until_flag(fx.sim, done);
+    return sim::to_seconds(fx.sim.now() - t0);
+  };
+  const double uncached = serve();
+  const double cached = serve();
+  // Uncached pays the disk access (~8 ms seek + ~6 ms transfer).
+  EXPECT_GT(uncached, cached * 2.0);
+  EXPECT_NEAR(uncached, 0.0188, 0.004);
+  EXPECT_NEAR(cached, 0.0052, 0.002);
+}
+
+TEST(Services, SshSegmentOutcomeMatrix) {
+  HostFixture fx(1);
+  auto& g = *fx.guests[0];
+  auto* ssh = static_cast<guest::SshService*>(g.find_service("sshd"));
+  const auto gen = ssh->generation();
+  EXPECT_EQ(ssh->segment_outcome(g, gen), net::SegmentOutcome::kAck);
+  EXPECT_EQ(ssh->segment_outcome(g, gen - 1), net::SegmentOutcome::kRst);
+
+  // Graceful stop -> FIN while the OS still runs.
+  bool stopped = false;
+  ssh->stop(g, [&] { stopped = true; });
+  EXPECT_EQ(ssh->segment_outcome(g, gen), net::SegmentOutcome::kFin);
+  run_until_flag(fx.sim, stopped);
+
+  // Restart: old sessions get RST.
+  bool started = false;
+  ssh->start(g, [&] { started = true; });
+  run_until_flag(fx.sim, started);
+  EXPECT_EQ(ssh->segment_outcome(g, gen), net::SegmentOutcome::kRst);
+
+  // Suspended OS: dropped.
+  bool suspended = false;
+  fx.host->vmm().suspend_domain_on_memory(g.domain_id(), [&] { suspended = true; });
+  run_until_flag(fx.sim, suspended);
+  EXPECT_EQ(ssh->segment_outcome(g, ssh->generation()),
+            net::SegmentOutcome::kDropped);
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "simcore/check.hpp"
+#include "simcore/stats.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  sim::Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), std::size_t{8});
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  sim::Summary s;
+  EXPECT_THROW((void)s.mean(), InvariantViolation);
+  EXPECT_THROW((void)s.min(), InvariantViolation);
+  s.add(1.0);
+  EXPECT_THROW((void)s.variance(), InvariantViolation);  // needs two samples
+}
+
+TEST(LinearFit, ExactLine) {
+  // y = 2x + 1 exactly.
+  std::vector<double> x{1, 2, 3, 4, 5}, y{3, 5, 7, 9, 11};
+  const auto fit = sim::fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.at(10), 21.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineStillClose) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 7.0 + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const auto fit = sim::fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_NEAR(fit.intercept, 7.0, 0.3);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(LinearFit, ConstantYIsPerfectFlatFit) {
+  std::vector<double> x{1, 2, 3}, y{5, 5, 5};
+  const auto fit = sim::fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(LinearFit, RejectsBadInput) {
+  EXPECT_THROW(sim::fit_linear({1}, {2}), InvariantViolation);
+  EXPECT_THROW(sim::fit_linear({1, 2}, {1}), InvariantViolation);
+  EXPECT_THROW(sim::fit_linear({3, 3}, {1, 2}), InvariantViolation);  // degenerate x
+}
+
+TEST(LinearFit, FormatsLikeThePaper) {
+  sim::LinearFit fit{-0.55, 43.0, 1.0};
+  EXPECT_EQ(fit.to_string("n"), "-0.55n + 43.00");
+  sim::LinearFit fit2{0.43, -0.07, 1.0};
+  EXPECT_EQ(fit2.to_string("n"), "0.43n - 0.07");
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(sim::percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(sim::percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(sim::percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::percentile(v, 95), 10.0);
+  EXPECT_THROW(sim::percentile({}, 50), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rh::test

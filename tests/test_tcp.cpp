@@ -1,0 +1,144 @@
+// TCP model unit tests: retransmission, backoff, timeouts, RST/FIN.
+#include <gtest/gtest.h>
+
+#include "net/tcp.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::test {
+namespace {
+
+using net::SegmentOutcome;
+using net::TcpConnection;
+using net::TcpState;
+
+/// Scripted peer: controls the outcome per segment.
+struct ScriptedPeer {
+  SegmentOutcome outcome = SegmentOutcome::kAck;
+  int segments = 0;
+
+  SegmentOutcome operator()() {
+    ++segments;
+    return outcome;
+  }
+};
+
+TEST(Tcp, StaysEstablishedUnderAcks) {
+  sim::Simulation s;
+  ScriptedPeer peer;
+  TcpConnection conn(s, {}, [&] { return peer(); });
+  conn.open();
+  s.run_until(10 * sim::kSecond);
+  EXPECT_EQ(conn.state(), TcpState::kEstablished);
+  EXPECT_NEAR(static_cast<double>(conn.segments_sent()), 10.0, 1.0);
+  EXPECT_EQ(conn.retransmissions(), std::uint64_t{0});
+}
+
+TEST(Tcp, RecoversAfterOutageAndRecordsIt) {
+  sim::Simulation s;
+  ScriptedPeer peer;
+  TcpConnection conn(s, {}, [&] { return peer(); });
+  conn.open();
+  s.run_until(2 * sim::kSecond);
+  peer.outcome = SegmentOutcome::kDropped;
+  s.run_until(12 * sim::kSecond);
+  EXPECT_EQ(conn.state(), TcpState::kRecovering);
+  peer.outcome = SegmentOutcome::kAck;
+  s.run_until(40 * sim::kSecond);
+  EXPECT_EQ(conn.state(), TcpState::kEstablished);
+  // The outage lasted ~10-18 s (bounded by the retry backoff).
+  EXPECT_GE(conn.longest_outage(), 9 * sim::kSecond);
+  EXPECT_LE(conn.longest_outage(), 20 * sim::kSecond);
+  EXPECT_GT(conn.retransmissions(), std::uint64_t{2});
+}
+
+TEST(Tcp, BackoffDoublesUpToCap) {
+  sim::Simulation s;
+  ScriptedPeer peer;
+  peer.outcome = SegmentOutcome::kDropped;
+  TcpConnection::Config cfg;
+  cfg.rto_initial = sim::kSecond;
+  cfg.rto_max = 4 * sim::kSecond;
+  TcpConnection conn(s, cfg, [&] { return peer(); });
+  conn.open();
+  // Keepalive at 1 s, then retries at +1, +2, +4, +4, +4...
+  s.run_until(17 * sim::kSecond);
+  // 1 (first) + retries at 2, 4, 8, 12, 16 -> 6 segments.
+  EXPECT_EQ(conn.segments_sent(), std::uint64_t{6});
+  EXPECT_EQ(conn.retransmissions(), std::uint64_t{5});
+}
+
+TEST(Tcp, ClientTimeoutFires) {
+  sim::Simulation s;
+  ScriptedPeer peer;
+  peer.outcome = SegmentOutcome::kDropped;
+  TcpConnection::Config cfg;
+  cfg.client_timeout = 10 * sim::kSecond;
+  TcpConnection conn(s, cfg, [&] { return peer(); });
+  conn.open();
+  s.run_until(30 * sim::kSecond);
+  EXPECT_EQ(conn.state(), TcpState::kTimedOut);
+  EXPECT_FALSE(conn.alive());
+  // The timeout fired close to 10 s after the last ACK (t=0).
+  EXPECT_LE(s.now(), 30 * sim::kSecond);
+}
+
+TEST(Tcp, NoTimeoutWhenOutageShorter) {
+  sim::Simulation s;
+  ScriptedPeer peer;
+  TcpConnection::Config cfg;
+  cfg.client_timeout = 60 * sim::kSecond;
+  TcpConnection conn(s, cfg, [&] { return peer(); });
+  conn.open();
+  s.run_until(sim::kSecond + 1000);
+  peer.outcome = SegmentOutcome::kDropped;
+  s.after(30 * sim::kSecond, [&] { peer.outcome = SegmentOutcome::kAck; });
+  s.run_until(2 * sim::kMinute);
+  EXPECT_EQ(conn.state(), TcpState::kEstablished);
+}
+
+TEST(Tcp, RstKillsConnection) {
+  sim::Simulation s;
+  ScriptedPeer peer;
+  peer.outcome = SegmentOutcome::kRst;
+  TcpConnection conn(s, {}, [&] { return peer(); });
+  conn.open();
+  s.run_until(5 * sim::kSecond);
+  EXPECT_EQ(conn.state(), TcpState::kReset);
+  const auto sent = conn.segments_sent();
+  s.run_until(10 * sim::kSecond);
+  EXPECT_EQ(conn.segments_sent(), sent);  // no activity after death
+}
+
+TEST(Tcp, FinClosesGracefully) {
+  sim::Simulation s;
+  ScriptedPeer peer;
+  peer.outcome = SegmentOutcome::kFin;
+  TcpConnection conn(s, {}, [&] { return peer(); });
+  conn.open();
+  s.run_until(5 * sim::kSecond);
+  EXPECT_EQ(conn.state(), TcpState::kClosedByPeer);
+}
+
+TEST(Tcp, LocalCloseStopsKeepalives) {
+  sim::Simulation s;
+  ScriptedPeer peer;
+  TcpConnection conn(s, {}, [&] { return peer(); });
+  conn.open();
+  s.run_until(3 * sim::kSecond);
+  conn.close();
+  const auto sent = conn.segments_sent();
+  s.run_until(10 * sim::kSecond);
+  EXPECT_EQ(conn.state(), TcpState::kClosedLocal);
+  EXPECT_EQ(conn.segments_sent(), sent);
+}
+
+TEST(Tcp, OpenTwiceThrows) {
+  sim::Simulation s;
+  ScriptedPeer peer;
+  TcpConnection conn(s, {}, [&] { return peer(); });
+  conn.open();
+  EXPECT_THROW(conn.open(), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "simcore/trace.hpp"
+#include "test_util.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(Tracer, RecordsAndQueries) {
+  sim::Tracer t;
+  t.emit(10, "vmm", "boot begin");
+  t.emit(20, "guest", "kernel booting");
+  t.emit(30, "vmm", "boot done");
+  EXPECT_EQ(t.records().size(), std::size_t{3});
+  EXPECT_EQ(t.by_category("vmm").size(), std::size_t{2});
+  EXPECT_TRUE(t.contains("kernel"));
+  EXPECT_FALSE(t.contains("panic"));
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Tracer, DisabledDropsRecords) {
+  sim::Tracer t;
+  t.set_enabled(false);
+  t.emit(1, "x", "y");
+  EXPECT_TRUE(t.records().empty());
+  t.set_enabled(true);
+  t.emit(2, "x", "y");
+  EXPECT_EQ(t.records().size(), std::size_t{1});
+}
+
+TEST(Tracer, StreamsHumanReadableLines) {
+  sim::Tracer t;
+  std::ostringstream os;
+  t.stream_to(&os);
+  t.emit(1'500'000, "host", "dom0 down");
+  EXPECT_EQ(os.str(), "[1.500s] host: dom0 down\n");
+  t.stream_to(nullptr);
+  t.emit(2'000'000, "host", "more");
+  EXPECT_EQ(os.str(), "[1.500s] host: dom0 down\n");  // unchanged
+}
+
+TEST(Tracer, WarmRebootLeavesAnAuditTrail) {
+  HostFixture fx(1);
+  fx.rejuvenate(rejuv::RebootKind::kWarm);
+  const auto& t = fx.host->tracer();
+  EXPECT_TRUE(t.contains("suspended on-memory"));
+  EXPECT_TRUE(t.contains("quick reload"));
+  EXPECT_TRUE(t.contains("re-reserved"));
+  EXPECT_TRUE(t.contains("resumed on-memory"));
+  EXPECT_TRUE(t.contains("completed warm-VM reboot"));
+  // No hardware reset appears anywhere in the trace.
+  EXPECT_FALSE(t.contains("hardware reset"));
+}
+
+TEST(Tracer, ErrorPathLeakIsTraced) {
+  Calibration calib;
+  calib.heap_leak_per_error_path = 128 * sim::kKiB;
+  HostFixture fx(0, calib);
+  EXPECT_EQ(fx.host->vmm().trigger_error_path(), 128 * sim::kKiB);
+  EXPECT_EQ(fx.host->vmm().heap().leaked(), 128 * sim::kKiB);
+  EXPECT_TRUE(fx.host->tracer().contains("error path executed"));
+  // Default calibration: error paths are clean.
+  HostFixture clean(0);
+  EXPECT_EQ(clean.host->vmm().trigger_error_path(), 0);
+  EXPECT_EQ(clean.host->vmm().heap().leaked(), 0);
+}
+
+}  // namespace
+}  // namespace rh::test

@@ -1,0 +1,63 @@
+// The VMM heap and the aging model built on it.
+#include <gtest/gtest.h>
+
+#include "simcore/check.hpp"
+#include "vmm/vmm_heap.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(VmmHeap, AllocateFreeAccounting) {
+  vmm::VmmHeap heap(16 * sim::kMiB);
+  heap.allocate("a", sim::kMiB);
+  heap.allocate("b", 2 * sim::kMiB);
+  EXPECT_EQ(heap.used(), 3 * sim::kMiB);
+  EXPECT_EQ(heap.available(), 13 * sim::kMiB);
+  EXPECT_EQ(heap.allocated_under("a"), sim::kMiB);
+  heap.free("a", sim::kMiB);
+  EXPECT_EQ(heap.used(), 2 * sim::kMiB);
+  EXPECT_EQ(heap.allocated_under("a"), 0);
+}
+
+TEST(VmmHeap, ExhaustionThrows) {
+  vmm::VmmHeap heap(sim::kMiB);
+  heap.allocate("x", sim::kMiB);
+  EXPECT_THROW(heap.allocate("y", 1), vmm::VmmHeapExhausted);
+}
+
+TEST(VmmHeap, OverFreeDetected) {
+  vmm::VmmHeap heap(sim::kMiB);
+  heap.allocate("x", 100);
+  EXPECT_THROW(heap.free("x", 200), InvariantViolation);
+  EXPECT_THROW(heap.free("never", 1), InvariantViolation);
+}
+
+TEST(VmmHeap, LeaksAreUnreclaimable) {
+  vmm::VmmHeap heap(sim::kMiB);
+  heap.leak(256 * sim::kKiB);
+  EXPECT_EQ(heap.leaked(), 256 * sim::kKiB);
+  EXPECT_EQ(heap.available(), 768 * sim::kKiB);
+  // There is no "unleak": only rebuilding the heap (rejuvenation) helps.
+  heap.allocate("x", 768 * sim::kKiB);
+  EXPECT_THROW(heap.allocate("y", 1), vmm::VmmHeapExhausted);
+}
+
+TEST(VmmHeap, LeakSaturatesAtAvailable) {
+  vmm::VmmHeap heap(sim::kMiB);
+  heap.allocate("x", 900 * sim::kKiB);
+  heap.leak(10 * sim::kMiB);  // more than what's left
+  EXPECT_EQ(heap.leaked(), 124 * sim::kKiB);
+  EXPECT_EQ(heap.available(), 0);
+}
+
+TEST(VmmHeap, PressureReflectsUsage) {
+  vmm::VmmHeap heap(sim::kMiB);
+  EXPECT_DOUBLE_EQ(heap.pressure(), 0.0);
+  heap.allocate("x", 512 * sim::kKiB);
+  EXPECT_DOUBLE_EQ(heap.pressure(), 0.5);
+  heap.leak(256 * sim::kKiB);
+  EXPECT_DOUBLE_EQ(heap.pressure(), 0.75);
+}
+
+}  // namespace
+}  // namespace rh::test

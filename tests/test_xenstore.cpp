@@ -1,0 +1,134 @@
+// The XenStore control-plane store and its lifecycle integration.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "vmm/xenstore.hpp"
+
+namespace rh::test {
+namespace {
+
+TEST(XenStore, WriteReadHierarchy) {
+  vmm::XenStore xs;
+  xs.write("/local/domain/1/name", "vm0");
+  xs.write("/local/domain/1/memory/target", "1048576");
+  EXPECT_EQ(xs.read("/local/domain/1/name").value(), "vm0");
+  EXPECT_EQ(xs.read("/local/domain/1/memory/target").value(), "1048576");
+  // Intermediate nodes exist with empty values.
+  EXPECT_TRUE(xs.exists("/local/domain"));
+  EXPECT_EQ(xs.read("/local/domain").value(), "");
+  EXPECT_FALSE(xs.read("/local/domain/2").has_value());
+  EXPECT_EQ(xs.node_count(), std::size_t{6});
+}
+
+TEST(XenStore, OverwriteKeepsSingleNode) {
+  vmm::XenStore xs;
+  xs.write("/a", "1");
+  const auto nodes = xs.node_count();
+  const auto bytes = xs.memory_footprint();
+  xs.write("/a", "22");
+  EXPECT_EQ(xs.node_count(), nodes);
+  EXPECT_EQ(xs.memory_footprint(), bytes + 1);  // value grew by one byte
+  EXPECT_EQ(xs.read("/a").value(), "22");
+}
+
+TEST(XenStore, ListChildren) {
+  vmm::XenStore xs;
+  xs.write("/local/domain/1/name", "a");
+  xs.write("/local/domain/2/name", "b");
+  xs.write("/local/domain/10/name", "c");
+  const auto kids = xs.list("/local/domain");
+  EXPECT_EQ(kids.size(), std::size_t{3});
+  EXPECT_TRUE(xs.list("/nope").empty());
+  EXPECT_TRUE(xs.list("/local/domain/1/name").empty());
+}
+
+TEST(XenStore, SubtreeRemovalReclaimsEverything) {
+  vmm::XenStore xs;
+  xs.write("/keep", "k");
+  const auto baseline_nodes = xs.node_count();
+  const auto baseline_bytes = xs.memory_footprint();
+  xs.write("/local/domain/1/name", "vm0");
+  xs.write("/local/domain/1/device/vbd/768/state", "4");
+  const auto removed = xs.remove("/local/domain/1");
+  EXPECT_EQ(removed, std::size_t{6});  // 1, name, device, vbd, 768, state
+  // Exact byte/node accounting: back to the pre-subtree footprint plus
+  // the /local/domain parents that remain.
+  xs.remove("/local");
+  EXPECT_EQ(xs.node_count(), baseline_nodes);
+  EXPECT_EQ(xs.memory_footprint(), baseline_bytes);
+  EXPECT_EQ(xs.remove("/never/was"), std::size_t{0});
+}
+
+TEST(XenStore, PathValidation) {
+  vmm::XenStore xs;
+  EXPECT_THROW(xs.write("noslash", "x"), InvariantViolation);
+  EXPECT_THROW(xs.write("/a//b", "x"), InvariantViolation);
+  EXPECT_THROW(xs.write("", "x"), InvariantViolation);
+}
+
+TEST(XenStore, WatchesFireOnPrefix) {
+  vmm::XenStore xs;
+  std::vector<std::string> fired;
+  const auto id = xs.watch("/local/domain/1",
+                           [&](const std::string& p) { fired.push_back(p); });
+  xs.write("/local/domain/1/name", "vm0");      // under prefix: fires
+  xs.write("/local/domain/10/name", "other");   // sibling: must NOT fire
+  xs.write("/local/domain/1", "self");          // exact prefix: fires
+  xs.remove("/local/domain/1");                 // removal: fires
+  EXPECT_EQ(fired.size(), std::size_t{3});
+  xs.unwatch(id);
+  xs.write("/local/domain/1/name", "again");
+  EXPECT_EQ(fired.size(), std::size_t{3});
+}
+
+TEST(XenStore, ClearModelsDaemonRestart) {
+  vmm::XenStore xs;
+  xs.write("/a/b", "x");
+  xs.watch("/a", [](const std::string&) {});
+  xs.clear();
+  EXPECT_EQ(xs.node_count(), std::size_t{0});
+  EXPECT_EQ(xs.memory_footprint(), 0);
+  EXPECT_EQ(xs.watch_count(), std::size_t{0});
+  EXPECT_FALSE(xs.exists("/a"));
+}
+
+// ------------------------------------------------ lifecycle integration
+
+TEST(XenStoreIntegration, DomainLifecycleMaintainsEntries) {
+  HostFixture fx(1);
+  auto& xs = fx.host->xenstore();
+  const auto id = std::to_string(fx.guests[0]->domain_id());
+  EXPECT_EQ(xs.read("/local/domain/" + id + "/name").value(), "vm0");
+  EXPECT_EQ(xs.read("/local/domain/" + id + "/device/vif/0/state").value(), "4");
+  EXPECT_TRUE(xs.exists("/vm/vm0/uuid"));
+
+  bool halted = false;
+  fx.guests[0]->shutdown([&] { halted = true; });
+  run_until_flag(fx.sim, halted);
+  EXPECT_FALSE(xs.exists("/local/domain/" + id));
+  EXPECT_FALSE(xs.exists("/vm/vm0"));
+}
+
+TEST(XenStoreIntegration, WarmRebootRebuildsStoreWithResumedDomains) {
+  HostFixture fx(2);
+  fx.rejuvenate(rejuv::RebootKind::kWarm);
+  auto& xs = fx.host->xenstore();
+  for (auto& g : fx.guests) {
+    const auto id = std::to_string(g->domain_id());
+    EXPECT_EQ(xs.read("/local/domain/" + id + "/name").value(), g->name());
+  }
+  // No stale entries from the previous VMM generation's domain ids.
+  EXPECT_EQ(xs.list("/local/domain").size(), std::size_t{3});  // dom0 + 2
+}
+
+TEST(XenStoreIntegration, WatchObservesDomainCreation) {
+  HostFixture fx(0);
+  std::vector<std::string> events;
+  fx.host->xenstore().watch(
+      "/local/domain", [&](const std::string& p) { events.push_back(p); });
+  fx.host->vmm().create_domain_now("watched", 16 * sim::kMiB, nullptr);
+  EXPECT_GE(events.size(), std::size_t{2});  // name + memory + devices
+}
+
+}  // namespace
+}  // namespace rh::test
