@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_memsize.dir/fig4_memsize.cpp.o"
+  "CMakeFiles/fig4_memsize.dir/fig4_memsize.cpp.o.d"
+  "fig4_memsize"
+  "fig4_memsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_memsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

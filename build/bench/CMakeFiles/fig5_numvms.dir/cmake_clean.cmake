@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_numvms.dir/fig5_numvms.cpp.o"
+  "CMakeFiles/fig5_numvms.dir/fig5_numvms.cpp.o.d"
+  "fig5_numvms"
+  "fig5_numvms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_numvms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

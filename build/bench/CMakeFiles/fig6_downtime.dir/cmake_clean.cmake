@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_downtime.dir/fig6_downtime.cpp.o"
+  "CMakeFiles/fig6_downtime.dir/fig6_downtime.cpp.o.d"
+  "fig6_downtime"
+  "fig6_downtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_downtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cluster.dir/fig9_cluster.cpp.o"
+  "CMakeFiles/fig9_cluster.dir/fig9_cluster.cpp.o.d"
+  "fig9_cluster"
+  "fig9_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_availability.dir/tab_availability.cpp.o"
+  "CMakeFiles/tab_availability.dir/tab_availability.cpp.o.d"
+  "tab_availability"
+  "tab_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

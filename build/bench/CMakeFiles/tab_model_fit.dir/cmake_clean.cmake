@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_model_fit.dir/tab_model_fit.cpp.o"
+  "CMakeFiles/tab_model_fit.dir/tab_model_fit.cpp.o.d"
+  "tab_model_fit"
+  "tab_model_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_quick_reload.dir/tab_quick_reload.cpp.o"
+  "CMakeFiles/tab_quick_reload.dir/tab_quick_reload.cpp.o.d"
+  "tab_quick_reload"
+  "tab_quick_reload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_quick_reload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

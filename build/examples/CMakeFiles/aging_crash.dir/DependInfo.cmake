@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/aging_crash.cpp" "examples/CMakeFiles/aging_crash.dir/aging_crash.cpp.o" "gcc" "examples/CMakeFiles/aging_crash.dir/aging_crash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_rejuv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

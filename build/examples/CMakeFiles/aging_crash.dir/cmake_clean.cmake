@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_crash.dir/aging_crash.cpp.o"
+  "CMakeFiles/aging_crash.dir/aging_crash.cpp.o.d"
+  "aging_crash"
+  "aging_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidated_server_rejuvenation.dir/consolidated_server_rejuvenation.cpp.o"
+  "CMakeFiles/consolidated_server_rejuvenation.dir/consolidated_server_rejuvenation.cpp.o.d"
+  "consolidated_server_rejuvenation"
+  "consolidated_server_rejuvenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidated_server_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

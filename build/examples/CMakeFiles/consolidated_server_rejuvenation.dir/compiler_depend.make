@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for consolidated_server_rejuvenation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for consolidated_server_rejuvenation.
+# This may be replaced when dependencies are built.

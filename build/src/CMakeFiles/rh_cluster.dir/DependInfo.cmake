@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/rh_cluster.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/rh_cluster.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/load_balancer.cpp" "src/CMakeFiles/rh_cluster.dir/cluster/load_balancer.cpp.o" "gcc" "src/CMakeFiles/rh_cluster.dir/cluster/load_balancer.cpp.o.d"
+  "/root/repo/src/cluster/migration.cpp" "src/CMakeFiles/rh_cluster.dir/cluster/migration.cpp.o" "gcc" "src/CMakeFiles/rh_cluster.dir/cluster/migration.cpp.o.d"
+  "/root/repo/src/cluster/throughput_model.cpp" "src/CMakeFiles/rh_cluster.dir/cluster/throughput_model.cpp.o" "gcc" "src/CMakeFiles/rh_cluster.dir/cluster/throughput_model.cpp.o.d"
+  "/root/repo/src/cluster/vm_migrator.cpp" "src/CMakeFiles/rh_cluster.dir/cluster/vm_migrator.cpp.o" "gcc" "src/CMakeFiles/rh_cluster.dir/cluster/vm_migrator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rh_rejuv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_cluster.dir/cluster/cluster.cpp.o"
+  "CMakeFiles/rh_cluster.dir/cluster/cluster.cpp.o.d"
+  "CMakeFiles/rh_cluster.dir/cluster/load_balancer.cpp.o"
+  "CMakeFiles/rh_cluster.dir/cluster/load_balancer.cpp.o.d"
+  "CMakeFiles/rh_cluster.dir/cluster/migration.cpp.o"
+  "CMakeFiles/rh_cluster.dir/cluster/migration.cpp.o.d"
+  "CMakeFiles/rh_cluster.dir/cluster/throughput_model.cpp.o"
+  "CMakeFiles/rh_cluster.dir/cluster/throughput_model.cpp.o.d"
+  "CMakeFiles/rh_cluster.dir/cluster/vm_migrator.cpp.o"
+  "CMakeFiles/rh_cluster.dir/cluster/vm_migrator.cpp.o.d"
+  "librh_cluster.a"
+  "librh_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

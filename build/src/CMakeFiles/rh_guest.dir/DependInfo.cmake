@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/apache.cpp" "src/CMakeFiles/rh_guest.dir/guest/apache.cpp.o" "gcc" "src/CMakeFiles/rh_guest.dir/guest/apache.cpp.o.d"
+  "/root/repo/src/guest/guest_os.cpp" "src/CMakeFiles/rh_guest.dir/guest/guest_os.cpp.o" "gcc" "src/CMakeFiles/rh_guest.dir/guest/guest_os.cpp.o.d"
+  "/root/repo/src/guest/page_cache.cpp" "src/CMakeFiles/rh_guest.dir/guest/page_cache.cpp.o" "gcc" "src/CMakeFiles/rh_guest.dir/guest/page_cache.cpp.o.d"
+  "/root/repo/src/guest/service.cpp" "src/CMakeFiles/rh_guest.dir/guest/service.cpp.o" "gcc" "src/CMakeFiles/rh_guest.dir/guest/service.cpp.o.d"
+  "/root/repo/src/guest/sshd.cpp" "src/CMakeFiles/rh_guest.dir/guest/sshd.cpp.o" "gcc" "src/CMakeFiles/rh_guest.dir/guest/sshd.cpp.o.d"
+  "/root/repo/src/guest/vfs.cpp" "src/CMakeFiles/rh_guest.dir/guest/vfs.cpp.o" "gcc" "src/CMakeFiles/rh_guest.dir/guest/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rh_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_guest.dir/guest/apache.cpp.o"
+  "CMakeFiles/rh_guest.dir/guest/apache.cpp.o.d"
+  "CMakeFiles/rh_guest.dir/guest/guest_os.cpp.o"
+  "CMakeFiles/rh_guest.dir/guest/guest_os.cpp.o.d"
+  "CMakeFiles/rh_guest.dir/guest/page_cache.cpp.o"
+  "CMakeFiles/rh_guest.dir/guest/page_cache.cpp.o.d"
+  "CMakeFiles/rh_guest.dir/guest/service.cpp.o"
+  "CMakeFiles/rh_guest.dir/guest/service.cpp.o.d"
+  "CMakeFiles/rh_guest.dir/guest/sshd.cpp.o"
+  "CMakeFiles/rh_guest.dir/guest/sshd.cpp.o.d"
+  "CMakeFiles/rh_guest.dir/guest/vfs.cpp.o"
+  "CMakeFiles/rh_guest.dir/guest/vfs.cpp.o.d"
+  "librh_guest.a"
+  "librh_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/bios.cpp" "src/CMakeFiles/rh_hw.dir/hw/bios.cpp.o" "gcc" "src/CMakeFiles/rh_hw.dir/hw/bios.cpp.o.d"
+  "/root/repo/src/hw/disk.cpp" "src/CMakeFiles/rh_hw.dir/hw/disk.cpp.o" "gcc" "src/CMakeFiles/rh_hw.dir/hw/disk.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/CMakeFiles/rh_hw.dir/hw/machine.cpp.o" "gcc" "src/CMakeFiles/rh_hw.dir/hw/machine.cpp.o.d"
+  "/root/repo/src/hw/machine_memory.cpp" "src/CMakeFiles/rh_hw.dir/hw/machine_memory.cpp.o" "gcc" "src/CMakeFiles/rh_hw.dir/hw/machine_memory.cpp.o.d"
+  "/root/repo/src/hw/nic.cpp" "src/CMakeFiles/rh_hw.dir/hw/nic.cpp.o" "gcc" "src/CMakeFiles/rh_hw.dir/hw/nic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rh_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

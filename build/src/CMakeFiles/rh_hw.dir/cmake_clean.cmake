@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_hw.dir/hw/bios.cpp.o"
+  "CMakeFiles/rh_hw.dir/hw/bios.cpp.o.d"
+  "CMakeFiles/rh_hw.dir/hw/disk.cpp.o"
+  "CMakeFiles/rh_hw.dir/hw/disk.cpp.o.d"
+  "CMakeFiles/rh_hw.dir/hw/machine.cpp.o"
+  "CMakeFiles/rh_hw.dir/hw/machine.cpp.o.d"
+  "CMakeFiles/rh_hw.dir/hw/machine_memory.cpp.o"
+  "CMakeFiles/rh_hw.dir/hw/machine_memory.cpp.o.d"
+  "CMakeFiles/rh_hw.dir/hw/nic.cpp.o"
+  "CMakeFiles/rh_hw.dir/hw/nic.cpp.o.d"
+  "librh_hw.a"
+  "librh_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

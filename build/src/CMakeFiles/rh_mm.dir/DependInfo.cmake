@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/balloon.cpp" "src/CMakeFiles/rh_mm.dir/mm/balloon.cpp.o" "gcc" "src/CMakeFiles/rh_mm.dir/mm/balloon.cpp.o.d"
+  "/root/repo/src/mm/frame_allocator.cpp" "src/CMakeFiles/rh_mm.dir/mm/frame_allocator.cpp.o" "gcc" "src/CMakeFiles/rh_mm.dir/mm/frame_allocator.cpp.o.d"
+  "/root/repo/src/mm/p2m_table.cpp" "src/CMakeFiles/rh_mm.dir/mm/p2m_table.cpp.o" "gcc" "src/CMakeFiles/rh_mm.dir/mm/p2m_table.cpp.o.d"
+  "/root/repo/src/mm/preserved_registry.cpp" "src/CMakeFiles/rh_mm.dir/mm/preserved_registry.cpp.o" "gcc" "src/CMakeFiles/rh_mm.dir/mm/preserved_registry.cpp.o.d"
+  "/root/repo/src/mm/serde.cpp" "src/CMakeFiles/rh_mm.dir/mm/serde.cpp.o" "gcc" "src/CMakeFiles/rh_mm.dir/mm/serde.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rh_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

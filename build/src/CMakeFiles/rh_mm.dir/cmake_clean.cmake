@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_mm.dir/mm/balloon.cpp.o"
+  "CMakeFiles/rh_mm.dir/mm/balloon.cpp.o.d"
+  "CMakeFiles/rh_mm.dir/mm/frame_allocator.cpp.o"
+  "CMakeFiles/rh_mm.dir/mm/frame_allocator.cpp.o.d"
+  "CMakeFiles/rh_mm.dir/mm/p2m_table.cpp.o"
+  "CMakeFiles/rh_mm.dir/mm/p2m_table.cpp.o.d"
+  "CMakeFiles/rh_mm.dir/mm/preserved_registry.cpp.o"
+  "CMakeFiles/rh_mm.dir/mm/preserved_registry.cpp.o.d"
+  "CMakeFiles/rh_mm.dir/mm/serde.cpp.o"
+  "CMakeFiles/rh_mm.dir/mm/serde.cpp.o.d"
+  "librh_mm.a"
+  "librh_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

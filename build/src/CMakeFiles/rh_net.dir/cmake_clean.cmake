@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_net.dir/net/network.cpp.o"
+  "CMakeFiles/rh_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/rh_net.dir/net/tcp.cpp.o"
+  "CMakeFiles/rh_net.dir/net/tcp.cpp.o.d"
+  "librh_net.a"
+  "librh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_rejuv.dir/rejuv/availability.cpp.o"
+  "CMakeFiles/rh_rejuv.dir/rejuv/availability.cpp.o.d"
+  "CMakeFiles/rh_rejuv.dir/rejuv/downtime_model.cpp.o"
+  "CMakeFiles/rh_rejuv.dir/rejuv/downtime_model.cpp.o.d"
+  "CMakeFiles/rh_rejuv.dir/rejuv/policy.cpp.o"
+  "CMakeFiles/rh_rejuv.dir/rejuv/policy.cpp.o.d"
+  "CMakeFiles/rh_rejuv.dir/rejuv/reboot_driver.cpp.o"
+  "CMakeFiles/rh_rejuv.dir/rejuv/reboot_driver.cpp.o.d"
+  "librh_rejuv.a"
+  "librh_rejuv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_rejuv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/event_queue.cpp" "src/CMakeFiles/rh_simcore.dir/simcore/event_queue.cpp.o" "gcc" "src/CMakeFiles/rh_simcore.dir/simcore/event_queue.cpp.o.d"
+  "/root/repo/src/simcore/histogram.cpp" "src/CMakeFiles/rh_simcore.dir/simcore/histogram.cpp.o" "gcc" "src/CMakeFiles/rh_simcore.dir/simcore/histogram.cpp.o.d"
+  "/root/repo/src/simcore/random.cpp" "src/CMakeFiles/rh_simcore.dir/simcore/random.cpp.o" "gcc" "src/CMakeFiles/rh_simcore.dir/simcore/random.cpp.o.d"
+  "/root/repo/src/simcore/script.cpp" "src/CMakeFiles/rh_simcore.dir/simcore/script.cpp.o" "gcc" "src/CMakeFiles/rh_simcore.dir/simcore/script.cpp.o.d"
+  "/root/repo/src/simcore/simulation.cpp" "src/CMakeFiles/rh_simcore.dir/simcore/simulation.cpp.o" "gcc" "src/CMakeFiles/rh_simcore.dir/simcore/simulation.cpp.o.d"
+  "/root/repo/src/simcore/stats.cpp" "src/CMakeFiles/rh_simcore.dir/simcore/stats.cpp.o" "gcc" "src/CMakeFiles/rh_simcore.dir/simcore/stats.cpp.o.d"
+  "/root/repo/src/simcore/time_series.cpp" "src/CMakeFiles/rh_simcore.dir/simcore/time_series.cpp.o" "gcc" "src/CMakeFiles/rh_simcore.dir/simcore/time_series.cpp.o.d"
+  "/root/repo/src/simcore/trace.cpp" "src/CMakeFiles/rh_simcore.dir/simcore/trace.cpp.o" "gcc" "src/CMakeFiles/rh_simcore.dir/simcore/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_simcore.dir/simcore/event_queue.cpp.o"
+  "CMakeFiles/rh_simcore.dir/simcore/event_queue.cpp.o.d"
+  "CMakeFiles/rh_simcore.dir/simcore/histogram.cpp.o"
+  "CMakeFiles/rh_simcore.dir/simcore/histogram.cpp.o.d"
+  "CMakeFiles/rh_simcore.dir/simcore/random.cpp.o"
+  "CMakeFiles/rh_simcore.dir/simcore/random.cpp.o.d"
+  "CMakeFiles/rh_simcore.dir/simcore/script.cpp.o"
+  "CMakeFiles/rh_simcore.dir/simcore/script.cpp.o.d"
+  "CMakeFiles/rh_simcore.dir/simcore/simulation.cpp.o"
+  "CMakeFiles/rh_simcore.dir/simcore/simulation.cpp.o.d"
+  "CMakeFiles/rh_simcore.dir/simcore/stats.cpp.o"
+  "CMakeFiles/rh_simcore.dir/simcore/stats.cpp.o.d"
+  "CMakeFiles/rh_simcore.dir/simcore/time_series.cpp.o"
+  "CMakeFiles/rh_simcore.dir/simcore/time_series.cpp.o.d"
+  "CMakeFiles/rh_simcore.dir/simcore/trace.cpp.o"
+  "CMakeFiles/rh_simcore.dir/simcore/trace.cpp.o.d"
+  "librh_simcore.a"
+  "librh_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

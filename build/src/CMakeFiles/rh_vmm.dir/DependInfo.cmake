@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/calibration.cpp" "src/CMakeFiles/rh_vmm.dir/vmm/calibration.cpp.o" "gcc" "src/CMakeFiles/rh_vmm.dir/vmm/calibration.cpp.o.d"
+  "/root/repo/src/vmm/domain.cpp" "src/CMakeFiles/rh_vmm.dir/vmm/domain.cpp.o" "gcc" "src/CMakeFiles/rh_vmm.dir/vmm/domain.cpp.o.d"
+  "/root/repo/src/vmm/event_channel.cpp" "src/CMakeFiles/rh_vmm.dir/vmm/event_channel.cpp.o" "gcc" "src/CMakeFiles/rh_vmm.dir/vmm/event_channel.cpp.o.d"
+  "/root/repo/src/vmm/host.cpp" "src/CMakeFiles/rh_vmm.dir/vmm/host.cpp.o" "gcc" "src/CMakeFiles/rh_vmm.dir/vmm/host.cpp.o.d"
+  "/root/repo/src/vmm/save_restore.cpp" "src/CMakeFiles/rh_vmm.dir/vmm/save_restore.cpp.o" "gcc" "src/CMakeFiles/rh_vmm.dir/vmm/save_restore.cpp.o.d"
+  "/root/repo/src/vmm/suspend.cpp" "src/CMakeFiles/rh_vmm.dir/vmm/suspend.cpp.o" "gcc" "src/CMakeFiles/rh_vmm.dir/vmm/suspend.cpp.o.d"
+  "/root/repo/src/vmm/vmm.cpp" "src/CMakeFiles/rh_vmm.dir/vmm/vmm.cpp.o" "gcc" "src/CMakeFiles/rh_vmm.dir/vmm/vmm.cpp.o.d"
+  "/root/repo/src/vmm/vmm_heap.cpp" "src/CMakeFiles/rh_vmm.dir/vmm/vmm_heap.cpp.o" "gcc" "src/CMakeFiles/rh_vmm.dir/vmm/vmm_heap.cpp.o.d"
+  "/root/repo/src/vmm/xenstore.cpp" "src/CMakeFiles/rh_vmm.dir/vmm/xenstore.cpp.o" "gcc" "src/CMakeFiles/rh_vmm.dir/vmm/xenstore.cpp.o.d"
+  "/root/repo/src/vmm/xexec.cpp" "src/CMakeFiles/rh_vmm.dir/vmm/xexec.cpp.o" "gcc" "src/CMakeFiles/rh_vmm.dir/vmm/xexec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rh_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

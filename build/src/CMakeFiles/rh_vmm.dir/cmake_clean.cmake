@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_vmm.dir/vmm/calibration.cpp.o"
+  "CMakeFiles/rh_vmm.dir/vmm/calibration.cpp.o.d"
+  "CMakeFiles/rh_vmm.dir/vmm/domain.cpp.o"
+  "CMakeFiles/rh_vmm.dir/vmm/domain.cpp.o.d"
+  "CMakeFiles/rh_vmm.dir/vmm/event_channel.cpp.o"
+  "CMakeFiles/rh_vmm.dir/vmm/event_channel.cpp.o.d"
+  "CMakeFiles/rh_vmm.dir/vmm/host.cpp.o"
+  "CMakeFiles/rh_vmm.dir/vmm/host.cpp.o.d"
+  "CMakeFiles/rh_vmm.dir/vmm/save_restore.cpp.o"
+  "CMakeFiles/rh_vmm.dir/vmm/save_restore.cpp.o.d"
+  "CMakeFiles/rh_vmm.dir/vmm/suspend.cpp.o"
+  "CMakeFiles/rh_vmm.dir/vmm/suspend.cpp.o.d"
+  "CMakeFiles/rh_vmm.dir/vmm/vmm.cpp.o"
+  "CMakeFiles/rh_vmm.dir/vmm/vmm.cpp.o.d"
+  "CMakeFiles/rh_vmm.dir/vmm/vmm_heap.cpp.o"
+  "CMakeFiles/rh_vmm.dir/vmm/vmm_heap.cpp.o.d"
+  "CMakeFiles/rh_vmm.dir/vmm/xenstore.cpp.o"
+  "CMakeFiles/rh_vmm.dir/vmm/xenstore.cpp.o.d"
+  "CMakeFiles/rh_vmm.dir/vmm/xexec.cpp.o"
+  "CMakeFiles/rh_vmm.dir/vmm/xexec.cpp.o.d"
+  "librh_vmm.a"
+  "librh_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_workload.dir/workload/http_client.cpp.o"
+  "CMakeFiles/rh_workload.dir/workload/http_client.cpp.o.d"
+  "CMakeFiles/rh_workload.dir/workload/prober.cpp.o"
+  "CMakeFiles/rh_workload.dir/workload/prober.cpp.o.d"
+  "CMakeFiles/rh_workload.dir/workload/throughput_recorder.cpp.o"
+  "CMakeFiles/rh_workload.dir/workload/throughput_recorder.cpp.o.d"
+  "librh_workload.a"
+  "librh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aging.cpp" "tests/CMakeFiles/rh_tests.dir/test_aging.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_aging.cpp.o.d"
+  "/root/repo/tests/test_availability.cpp" "tests/CMakeFiles/rh_tests.dir/test_availability.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_availability.cpp.o.d"
+  "/root/repo/tests/test_balloon.cpp" "tests/CMakeFiles/rh_tests.dir/test_balloon.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_balloon.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/rh_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_cpu_pool.cpp" "tests/CMakeFiles/rh_tests.dir/test_cpu_pool.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_cpu_pool.cpp.o.d"
+  "/root/repo/tests/test_disk.cpp" "tests/CMakeFiles/rh_tests.dir/test_disk.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_disk.cpp.o.d"
+  "/root/repo/tests/test_downtime_model.cpp" "tests/CMakeFiles/rh_tests.dir/test_downtime_model.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_downtime_model.cpp.o.d"
+  "/root/repo/tests/test_event_channel.cpp" "tests/CMakeFiles/rh_tests.dir/test_event_channel.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_event_channel.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/rh_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/rh_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/rh_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_frame_allocator.cpp" "tests/CMakeFiles/rh_tests.dir/test_frame_allocator.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_frame_allocator.cpp.o.d"
+  "/root/repo/tests/test_guest_os.cpp" "tests/CMakeFiles/rh_tests.dir/test_guest_os.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_guest_os.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/rh_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_host.cpp" "tests/CMakeFiles/rh_tests.dir/test_host.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_host.cpp.o.d"
+  "/root/repo/tests/test_http_client.cpp" "tests/CMakeFiles/rh_tests.dir/test_http_client.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_http_client.cpp.o.d"
+  "/root/repo/tests/test_machine_memory.cpp" "tests/CMakeFiles/rh_tests.dir/test_machine_memory.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_machine_memory.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/rh_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_nic_bios.cpp" "tests/CMakeFiles/rh_tests.dir/test_nic_bios.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_nic_bios.cpp.o.d"
+  "/root/repo/tests/test_p2m_table.cpp" "tests/CMakeFiles/rh_tests.dir/test_p2m_table.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_p2m_table.cpp.o.d"
+  "/root/repo/tests/test_page_cache.cpp" "tests/CMakeFiles/rh_tests.dir/test_page_cache.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_page_cache.cpp.o.d"
+  "/root/repo/tests/test_policy.cpp" "tests/CMakeFiles/rh_tests.dir/test_policy.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_policy.cpp.o.d"
+  "/root/repo/tests/test_preserved_registry.cpp" "tests/CMakeFiles/rh_tests.dir/test_preserved_registry.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_preserved_registry.cpp.o.d"
+  "/root/repo/tests/test_prober.cpp" "tests/CMakeFiles/rh_tests.dir/test_prober.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_prober.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rh_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_quick_reload.cpp" "tests/CMakeFiles/rh_tests.dir/test_quick_reload.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_quick_reload.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/rh_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_reboot_drivers.cpp" "tests/CMakeFiles/rh_tests.dir/test_reboot_drivers.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_reboot_drivers.cpp.o.d"
+  "/root/repo/tests/test_save_restore.cpp" "tests/CMakeFiles/rh_tests.dir/test_save_restore.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_save_restore.cpp.o.d"
+  "/root/repo/tests/test_script.cpp" "tests/CMakeFiles/rh_tests.dir/test_script.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_script.cpp.o.d"
+  "/root/repo/tests/test_serde.cpp" "tests/CMakeFiles/rh_tests.dir/test_serde.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_serde.cpp.o.d"
+  "/root/repo/tests/test_services.cpp" "tests/CMakeFiles/rh_tests.dir/test_services.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_services.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/rh_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/rh_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_suspend_resume.cpp" "tests/CMakeFiles/rh_tests.dir/test_suspend_resume.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_suspend_resume.cpp.o.d"
+  "/root/repo/tests/test_tcp.cpp" "tests/CMakeFiles/rh_tests.dir/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_tcp.cpp.o.d"
+  "/root/repo/tests/test_time_series.cpp" "tests/CMakeFiles/rh_tests.dir/test_time_series.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_time_series.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/rh_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_vfs.cpp" "tests/CMakeFiles/rh_tests.dir/test_vfs.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_vfs.cpp.o.d"
+  "/root/repo/tests/test_vm_migration.cpp" "tests/CMakeFiles/rh_tests.dir/test_vm_migration.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_vm_migration.cpp.o.d"
+  "/root/repo/tests/test_vmm_domains.cpp" "tests/CMakeFiles/rh_tests.dir/test_vmm_domains.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_vmm_domains.cpp.o.d"
+  "/root/repo/tests/test_vmm_heap.cpp" "tests/CMakeFiles/rh_tests.dir/test_vmm_heap.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_vmm_heap.cpp.o.d"
+  "/root/repo/tests/test_xenstore.cpp" "tests/CMakeFiles/rh_tests.dir/test_xenstore.cpp.o" "gcc" "tests/CMakeFiles/rh_tests.dir/test_xenstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_rejuv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rh_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
