@@ -9,6 +9,7 @@
 #include "mm/frame_allocator.hpp"
 #include "mm/p2m_table.hpp"
 #include "simcore/event_queue.hpp"
+#include "simcore/legacy_heap_queue.hpp"
 #include "simcore/random.hpp"
 #include "simcore/simulation.hpp"
 #include "warm_run_support.hpp"
@@ -17,10 +18,15 @@ namespace {
 
 using namespace rh;
 
-void BM_EventQueuePushPop(benchmark::State& state) {
+// Scheduler benchmarks are templated over the queue so the calendar queue and
+// the preserved legacy binary-heap queue run the identical workload; compare
+// BM_EventQueue* against BM_LegacyHeapQueue* for the speedup. sched_bench
+// runs the same comparison standalone and emits BENCH_sched.json.
+template <typename Queue>
+void BM_QueuePushPop(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    sim::EventQueue q;
+    Queue q;
     sim::Rng rng(1);
     for (std::size_t i = 0; i < n; ++i) {
       q.push(static_cast<sim::SimTime>(rng.next() % 1000000), [] {});
@@ -30,7 +36,102 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_QueuePushPop<sim::EventQueue>)
+    ->Name("BM_EventQueuePushPop")
+    ->Arg(1024)
+    ->Arg(65536);
+BENCHMARK(BM_QueuePushPop<sim::LegacyHeapQueue>)
+    ->Name("BM_LegacyHeapQueuePushPop")
+    ->Arg(1024)
+    ->Arg(65536);
+
+template <typename Queue>
+void BM_QueueCancelHeavy(benchmark::State& state) {
+  // Retransmission-timer pattern: most scheduled events are cancelled
+  // before they fire.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> ids(n);
+  for (auto _ : state) {
+    Queue q;
+    sim::Rng rng(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[i] = static_cast<std::uint64_t>(
+          q.push(static_cast<sim::SimTime>(rng.next() % 1000000), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) benchmark::DoNotOptimize(q.cancel(ids[i]));
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QueueCancelHeavy<sim::EventQueue>)
+    ->Name("BM_EventQueueCancelHeavy")
+    ->Arg(65536);
+BENCHMARK(BM_QueueCancelHeavy<sim::LegacyHeapQueue>)
+    ->Name("BM_LegacyHeapQueueCancelHeavy")
+    ->Arg(65536);
+
+template <typename Queue>
+void BM_QueueSameTimeBurst(benchmark::State& state) {
+  // Cluster-wide probe rounds and parallel suspends schedule bursts at the
+  // same timestamp; FIFO order within a burst is part of the contract.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Queue q;
+    sim::SimTime t = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 64 == 0) t += 100;
+      q.push(t, [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QueueSameTimeBurst<sim::EventQueue>)
+    ->Name("BM_EventQueueSameTimeBurst")
+    ->Arg(65536);
+BENCHMARK(BM_QueueSameTimeBurst<sim::LegacyHeapQueue>)
+    ->Name("BM_LegacyHeapQueueSameTimeBurst")
+    ->Arg(65536);
+
+template <typename Queue>
+void BM_QueueMixedHorizon(benchmark::State& state) {
+  // Microsecond TCP timers interleaved with hour/day-scale rejuvenation
+  // timers, with partial drains -- the distribution the cluster runs produce.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Queue q;
+    sim::Rng rng(4);
+    sim::SimTime base = 0;
+    for (int round = 0; round < 8; ++round) {
+      for (std::size_t i = 0; i < n / 8; ++i) {
+        const auto v = rng.next();
+        sim::SimTime t = base;
+        switch (v % 4) {
+          case 0: t += static_cast<sim::SimTime>((v >> 8) % 200); break;
+          case 1: t += sim::kSecond + static_cast<sim::SimTime>((v >> 8) % sim::kSecond); break;
+          case 2: t += sim::kHour + static_cast<sim::SimTime>((v >> 8) % sim::kDay); break;
+          default: t += static_cast<sim::SimTime>((v >> 8) % 50000); break;
+        }
+        q.push(t, [] {});
+      }
+      for (std::size_t i = q.size() / 2; i > 0; --i) {
+        benchmark::DoNotOptimize(q.pop().time);
+      }
+      base += 25000;
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QueueMixedHorizon<sim::EventQueue>)
+    ->Name("BM_EventQueueMixedHorizon")
+    ->Arg(65536);
+BENCHMARK(BM_QueueMixedHorizon<sim::LegacyHeapQueue>)
+    ->Name("BM_LegacyHeapQueueMixedHorizon")
+    ->Arg(65536);
 
 void BM_SimulationEventChain(benchmark::State& state) {
   for (auto _ : state) {

@@ -9,17 +9,17 @@ namespace rh::hw {
 
 bool Disk::idle() const { return busy_until_ <= sim_.now(); }
 
-void Disk::read(sim::Bytes size, Access access, std::function<void()> on_done) {
+void Disk::read(sim::Bytes size, Access access, sim::InlineCallback on_done) {
   bytes_read_ += size;
   submit(size, access, model_.sequential_read_bps, std::move(on_done));
 }
 
-void Disk::write(sim::Bytes size, Access access, std::function<void()> on_done) {
+void Disk::write(sim::Bytes size, Access access, sim::InlineCallback on_done) {
   bytes_written_ += size;
   submit(size, access, model_.sequential_write_bps, std::move(on_done));
 }
 
-void Disk::occupy(sim::Duration service, std::function<void()> on_done) {
+void Disk::occupy(sim::Duration service, sim::InlineCallback on_done) {
   ensure(service >= 0, "Disk::occupy: negative duration");
   ensure(static_cast<bool>(on_done), "Disk: completion callback required");
   const sim::SimTime start = std::max(sim_.now(), busy_until_);
@@ -30,7 +30,7 @@ void Disk::occupy(sim::Duration service, std::function<void()> on_done) {
 }
 
 void Disk::submit(sim::Bytes size, Access access, double bps,
-                  std::function<void()> on_done) {
+                  sim::InlineCallback on_done) {
   ensure(size >= 0, "Disk: negative transfer size");
   sim::Duration service = sim::transfer_time(size, bps);
   if (access == Access::kRandom) service += model_.random_access;

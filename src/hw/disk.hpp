@@ -10,9 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "simcore/inline_callback.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/types.hpp"
 
@@ -35,15 +35,15 @@ class Disk {
   enum class Access : std::uint8_t { kSequential, kRandom };
 
   /// Submits a read of `size` bytes; `on_done` fires at completion time.
-  void read(sim::Bytes size, Access access, std::function<void()> on_done);
+  void read(sim::Bytes size, Access access, sim::InlineCallback on_done);
 
   /// Submits a write of `size` bytes; `on_done` fires at completion time.
-  void write(sim::Bytes size, Access access, std::function<void()> on_done);
+  void write(sim::Bytes size, Access access, sim::InlineCallback on_done);
 
   /// Occupies the device for an externally-computed service time (e.g. a
   /// Xen save whose effective rate includes format overhead). Queues FIFO
   /// with reads/writes.
-  void occupy(sim::Duration service, std::function<void()> on_done);
+  void occupy(sim::Duration service, sim::InlineCallback on_done);
 
   /// Time at which the device becomes idle given current queue.
   [[nodiscard]] sim::SimTime busy_until() const { return busy_until_; }
@@ -62,7 +62,7 @@ class Disk {
 
  private:
   void submit(sim::Bytes size, Access access, double bps,
-              std::function<void()> on_done);
+              sim::InlineCallback on_done);
 
   sim::Simulation& sim_;
   DiskModel model_;

@@ -45,7 +45,7 @@ void CpuPool::complete_due() {
   settle();
   // Collect all tasks that are done (remaining work exhausted, with a
   // half-microsecond rounding allowance).
-  std::vector<std::function<void()>> finished;
+  std::vector<sim::InlineCallback> finished;
   for (auto it = tasks_.begin(); it != tasks_.end();) {
     if (it->remaining <= 0.75) {
       finished.push_back(std::move(it->done));
@@ -58,7 +58,7 @@ void CpuPool::complete_due() {
   for (auto& fn : finished) fn();
 }
 
-void CpuPool::run(sim::Duration d, std::function<void()> on_done) {
+void CpuPool::run(sim::Duration d, sim::InlineCallback on_done) {
   ensure(d >= 0, "CpuPool: negative duration");
   ensure(static_cast<bool>(on_done), "CpuPool: completion callback required");
   settle();
@@ -76,16 +76,14 @@ Machine::Machine(sim::Simulation& sim, MachineSpec spec)
       bios_(spec.bios),
       cpu_(sim, spec.cpu_cores) {}
 
-void Machine::hardware_reset(std::function<void()> on_post_complete) {
+void Machine::hardware_reset(sim::InlineCallback on_post_complete) {
   ensure(static_cast<bool>(on_post_complete), "Machine: callback required");
   memory_.power_cycle();
   power_state_ = PowerState::kPost;
   ++resets_;
-  sim_.after(bios_.post_duration(spec_.ram), [this, fn = std::move(on_post_complete)] {
-    // Firmware hands off to the boot loader; the software boot path will
-    // call set_running() once an OS/VMM is up.
-    fn();
-  });
+  // Firmware hands off to the boot loader at POST end; the software boot
+  // path will call set_running() once an OS/VMM is up.
+  sim_.after(bios_.post_duration(spec_.ram), std::move(on_post_complete));
 }
 
 }  // namespace rh::hw

@@ -1,7 +1,6 @@
 // The physical machine: RAM, disk, NIC, BIOS and CPU pool.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -9,6 +8,7 @@
 #include "hw/disk.hpp"
 #include "hw/machine_memory.hpp"
 #include "hw/nic.hpp"
+#include "simcore/inline_callback.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/types.hpp"
 
@@ -42,7 +42,7 @@ class CpuPool {
 
   /// Runs a CPU task of nominal duration `d`; `on_done` fires when its
   /// work completes under fair sharing.
-  void run(sim::Duration d, std::function<void()> on_done);
+  void run(sim::Duration d, sim::InlineCallback on_done);
 
   [[nodiscard]] int active_tasks() const { return static_cast<int>(tasks_.size()); }
   [[nodiscard]] int cores() const { return cores_; }
@@ -54,7 +54,7 @@ class CpuPool {
   struct Task {
     std::uint64_t id = 0;
     double remaining = 0.0;  // microseconds of nominal work left
-    std::function<void()> done;
+    sim::InlineCallback done;
   };
 
   /// Charges elapsed progress to all active tasks.
@@ -97,7 +97,7 @@ class Machine {
   /// Performs a hardware reset: memory contents are destroyed, then the
   /// machine goes through POST; `on_post_complete` fires when firmware
   /// hands control to the boot loader.
-  void hardware_reset(std::function<void()> on_post_complete);
+  void hardware_reset(sim::InlineCallback on_post_complete);
 
   /// Marks the machine as running (firmware handed off). Called by the
   /// boot path; also the initial state for convenience.

@@ -7,7 +7,7 @@
 
 namespace rh::hw {
 
-void Nic::transmit(sim::Bytes size, std::function<void()> on_done) {
+void Nic::transmit(sim::Bytes size, sim::InlineCallback on_done) {
   ensure(size >= 0, "Nic: negative transfer size");
   ensure(static_cast<bool>(on_done), "Nic: completion callback required");
   const sim::SimTime start = std::max(sim_.now(), busy_until_);

@@ -7,8 +7,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "simcore/inline_callback.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/types.hpp"
 
@@ -28,7 +28,7 @@ class Nic {
 
   /// Queues `size` payload bytes for transmission; `on_done` fires when the
   /// last byte has left the wire.
-  void transmit(sim::Bytes size, std::function<void()> on_done);
+  void transmit(sim::Bytes size, sim::InlineCallback on_done);
 
   [[nodiscard]] sim::SimTime busy_until() const { return busy_until_; }
   [[nodiscard]] sim::Bytes bytes_sent() const { return bytes_sent_; }

@@ -7,7 +7,7 @@
 
 namespace rh::net {
 
-void Link::deliver(std::function<void()> on_delivered) {
+void Link::deliver(sim::InlineCallback on_delivered) {
   ensure(static_cast<bool>(on_delivered), "Link::deliver: callback required");
   sim_.after(model_.latency, std::move(on_delivered));
 }
@@ -16,12 +16,12 @@ sim::Duration Link::bulk_duration(sim::Bytes size) const {
   return model_.latency + sim::transfer_time(size, model_.bulk_bandwidth_bps);
 }
 
-void Link::bulk_transfer(sim::Bytes size, std::function<void()> on_done) {
+void Link::bulk_transfer(sim::Bytes size, sim::InlineCallback on_done) {
   bulk_transfer_at(size, model_.bulk_bandwidth_bps, std::move(on_done));
 }
 
 void Link::bulk_transfer_at(sim::Bytes size, double bps,
-                            std::function<void()> on_done) {
+                            sim::InlineCallback on_done) {
   ensure(size >= 0, "Link::bulk_transfer: negative size");
   ensure(bps > 0, "Link::bulk_transfer: rate must be positive");
   ensure(static_cast<bool>(on_done), "Link::bulk_transfer: callback required");

@@ -6,8 +6,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "simcore/inline_callback.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/types.hpp"
 
@@ -27,16 +27,16 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   /// Delivers a small message (latency only; no bandwidth occupancy).
-  void deliver(std::function<void()> on_delivered);
+  void deliver(sim::InlineCallback on_delivered);
 
   /// Transfers `size` bytes over the link; the link is occupied for the
   /// transfer's duration (subsequent bulk transfers queue behind it).
-  void bulk_transfer(sim::Bytes size, std::function<void()> on_done);
+  void bulk_transfer(sim::Bytes size, sim::InlineCallback on_done);
 
   /// Like bulk_transfer but rate-limited to `bps` (capped at the link's
   /// own bandwidth). Live migration throttles itself this way.
   void bulk_transfer_at(sim::Bytes size, double bps,
-                        std::function<void()> on_done);
+                        sim::InlineCallback on_done);
 
   [[nodiscard]] sim::Duration latency() const { return model_.latency; }
   [[nodiscard]] sim::Bytes bulk_bytes_sent() const { return bulk_bytes_; }

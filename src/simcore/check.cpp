@@ -1,0 +1,9 @@
+#include "simcore/check.hpp"
+
+namespace rh {
+
+void throw_invariant_violation(const char* message) {
+  throw InvariantViolation(message);
+}
+
+}  // namespace rh

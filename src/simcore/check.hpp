@@ -3,6 +3,12 @@
 // Per the C++ Core Guidelines (I.6/I.8, E.12) we express preconditions and
 // invariants as checked expressions that throw on violation. Exceptions
 // (rather than abort) let tests assert that violations are detected.
+//
+// ensure() sits on the simulator's hottest paths (every event push/pop runs
+// through it), so the success path must cost exactly one predicted branch:
+// the message stays a const char* and the exception is materialized only in
+// the out-of-line, cold throw helper. Passing a std::string temporary here
+// would tax every call even when the invariant holds.
 #pragma once
 
 #include <stdexcept>
@@ -16,9 +22,23 @@ class InvariantViolation : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Cold path: constructs and throws InvariantViolation. Out of line so
+/// ensure() inlines to a bare test-and-branch.
+[[noreturn]] void throw_invariant_violation(const char* message);
+
 /// Throws InvariantViolation with `message` unless `condition` holds.
+inline void ensure(bool condition, const char* message) {
+  if (!condition) [[unlikely]] {
+    throw_invariant_violation(message);
+  }
+}
+
+/// Overload for call sites that build the message dynamically; those are
+/// all cold paths, so eager message construction there is acceptable.
 inline void ensure(bool condition, const std::string& message) {
-  if (!condition) throw InvariantViolation(message);
+  if (!condition) [[unlikely]] {
+    throw_invariant_violation(message.c_str());
+  }
 }
 
 }  // namespace rh

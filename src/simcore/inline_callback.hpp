@@ -1,0 +1,175 @@
+// Small-buffer-optimized, move-only `void()` callable for the scheduler.
+//
+// Every simulated mechanism schedules closures through the event queue, so
+// the callable wrapper is on the hottest path in the whole system.
+// std::function<void()> heap-allocates once its capture exceeds ~16 bytes
+// (libstdc++), which the timer-heavy models (TCP retransmission, probers,
+// rejuvenation policies) exceed routinely. InlineCallback instead embeds up
+// to kInlineCapacity bytes of capture state directly in the event node:
+//
+//   - callables whose size/alignment fit (and that are nothrow-movable)
+//     are stored inline -- scheduling them performs zero heap allocations;
+//   - larger callables transparently fall back to a single heap allocation
+//     (same behaviour as std::function, just rarer);
+//   - move-only captures (std::unique_ptr, ...) are supported, unlike
+//     std::function, because InlineCallback itself is move-only.
+//
+// The 48-byte capacity is sized to the closures actually scheduled across
+// src/: a `this` pointer plus a handful of ids/durations, or a moved-in
+// std::function<void()> continuation (32 bytes on libstdc++), all fit.
+// Together with the two dispatch pointers the wrapper is exactly one cache
+// line (64 bytes) on LP64 platforms.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::sim {
+
+class InlineCallback {
+ public:
+  /// Largest capture size stored without heap allocation.
+  static constexpr std::size_t kInlineCapacity = 48;
+  static constexpr std::size_t kInlineAlignment = alignof(std::max_align_t);
+
+  /// True if callables of type `Fn` are stored inline (no allocation).
+  template <typename Fn>
+  static constexpr bool stores_inline() {
+    return sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= kInlineAlignment &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  InlineCallback() noexcept = default;
+  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Wraps any void() callable. A null function pointer or empty
+  /// std::function produces an empty InlineCallback (so emptiness checks
+  /// made by the queue keep working across the conversion).
+  template <typename F, typename Fn = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, InlineCallback> &&
+                                        !std::is_same_v<Fn, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (requires { f == nullptr; }) {
+      if (f == nullptr) return;
+    }
+    if constexpr (stores_inline<Fn>() && std::is_trivially_copyable_v<Fn> &&
+                  std::is_trivially_destructible_v<Fn>) {
+      // The common case across src/ (captures of pointers, ids, durations):
+      // manage_ stays null, marking the callable trivially relocatable --
+      // moves are a memcpy and destruction is a no-op, so the scheduler's
+      // push/pop path performs no indirect calls until the final invoke.
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+    } else if constexpr (stores_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+      manage_ = [](Op op, void* self, void* other) {
+        auto* fn = std::launder(reinterpret_cast<Fn*>(self));
+        switch (op) {
+          case Op::kDestroy:
+            fn->~Fn();
+            break;
+          case Op::kMoveTo:
+            ::new (other) Fn(std::move(*fn));
+            fn->~Fn();
+            break;
+          case Op::kQueryInline:
+            *static_cast<bool*>(other) = true;
+            break;
+        }
+      };
+    } else {
+      // Over-size (or over-aligned, or throwing-move) callable: one heap
+      // allocation, pointer stored in the buffer.
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* s) { (**static_cast<Fn**>(s))(); };
+      manage_ = [](Op op, void* self, void* other) {
+        switch (op) {
+          case Op::kDestroy:
+            delete *static_cast<Fn**>(self);
+            break;
+          case Op::kMoveTo:
+            ::new (other) Fn*(*static_cast<Fn**>(self));
+            break;
+          case Op::kQueryInline:
+            *static_cast<bool*>(other) = false;
+            break;
+        }
+      };
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Invokes the wrapped callable. Precondition: !empty.
+  void operator()() {
+    ensure(invoke_ != nullptr, "InlineCallback: invoking empty callback");
+    invoke_(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// True if the wrapped callable lives in the inline buffer (test hook).
+  [[nodiscard]] bool is_inline() const noexcept {
+    if (manage_ == nullptr) return invoke_ != nullptr;  // trivially relocatable
+    bool inline_storage = false;
+    manage_(Op::kQueryInline, const_cast<std::byte*>(storage_), &inline_storage);
+    return inline_storage;
+  }
+
+ private:
+  enum class Op { kDestroy, kMoveTo, kQueryInline };
+
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(Op, void*, void*);
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::kDestroy, storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  void move_from(InlineCallback& other) noexcept {
+    if (other.manage_ != nullptr) {
+      other.manage_(Op::kMoveTo, other.storage_, storage_);
+    } else if (other.invoke_ != nullptr) {
+      std::memcpy(storage_, other.storage_, kInlineCapacity);
+    } else {
+      return;
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(kInlineAlignment) std::byte storage_[kInlineCapacity];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+static_assert(sizeof(InlineCallback) ==
+                  InlineCallback::kInlineCapacity + 2 * sizeof(void*),
+              "InlineCallback must carry no hidden overhead");
+
+}  // namespace rh::sim

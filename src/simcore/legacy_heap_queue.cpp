@@ -1,0 +1,64 @@
+#include "simcore/legacy_heap_queue.hpp"
+
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::sim {
+
+LegacyHeapQueue::EventId LegacyHeapQueue::push(SimTime t, std::function<void()> fn) {
+  ensure(static_cast<bool>(fn), "LegacyHeapQueue::push: callback must not be empty");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool LegacyHeapQueue::cancel(EventId id) {
+  if (id == kInvalid) return false;
+  // An id is "pending" if it was issued and is not already cancelled. We do
+  // not track popped ids individually; callers only cancel ids they own and
+  // have not yet seen fire, so double-cancel of a fired event is benign.
+  return cancelled_.insert(id).second;
+}
+
+void LegacyHeapQueue::skip_cancelled() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool LegacyHeapQueue::empty() const {
+  skip_cancelled();
+  return heap_.empty();
+}
+
+std::size_t LegacyHeapQueue::size() const {
+  // Upper bound adjusted for not-yet-skipped tombstones: exact because each
+  // cancelled id corresponds to exactly one heap entry.
+  return heap_.size() - cancelled_.size();
+}
+
+SimTime LegacyHeapQueue::next_time() const {
+  skip_cancelled();
+  ensure(!heap_.empty(), "LegacyHeapQueue::next_time: queue is empty");
+  return heap_.top().time;
+}
+
+LegacyHeapQueue::Popped LegacyHeapQueue::pop() {
+  skip_cancelled();
+  ensure(!heap_.empty(), "LegacyHeapQueue::pop: queue is empty");
+  // priority_queue::top() returns const&; the callback must be moved out, so
+  // we const_cast the owned entry. The entry is popped immediately after.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, top.id, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+void LegacyHeapQueue::clear() {
+  heap_ = {};
+  cancelled_.clear();
+}
+
+}  // namespace rh::sim

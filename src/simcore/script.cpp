@@ -29,7 +29,7 @@ Script& Script::pause(std::string label, Duration d) {
   return step(std::move(label), [d] { return d; });
 }
 
-void Script::run(std::function<void()> on_complete) {
+void Script::run(InlineCallback on_complete) {
   ensure(!running_, "Script::run: already running");
   ensure(!steps_.empty(), "Script::run: no steps");
   running_ = true;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "simcore/inline_callback.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/types.hpp"
 
@@ -54,7 +55,7 @@ class Script {
   /// Starts executing from the first step; `on_complete` fires after the
   /// last step ends. Must not already be running; may be re-run afterwards
   /// (records are cleared at each start).
-  void run(std::function<void()> on_complete);
+  void run(InlineCallback on_complete);
 
   [[nodiscard]] bool running() const { return running_; }
 
@@ -80,7 +81,7 @@ class Script {
   Simulation& sim_;
   std::vector<Step> steps_;
   std::vector<StepRecord> records_;
-  std::function<void()> on_complete_;
+  InlineCallback on_complete_;
   bool running_ = false;
   bool completed_ = false;
 };

@@ -6,12 +6,12 @@
 
 namespace rh::sim {
 
-EventId Simulation::at(SimTime t, std::function<void()> fn) {
+EventId Simulation::at(SimTime t, InlineCallback fn) {
   ensure(t >= now_, "Simulation::at: cannot schedule in the past");
   return queue_.push(t, std::move(fn));
 }
 
-EventId Simulation::after(Duration delay, std::function<void()> fn) {
+EventId Simulation::after(Duration delay, InlineCallback fn) {
   ensure(delay >= 0, "Simulation::after: negative delay");
   return queue_.push(now_ + delay, std::move(fn));
 }

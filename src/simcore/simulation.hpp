@@ -1,9 +1,8 @@
 // The discrete-event simulation driver.
 #pragma once
 
-#include <functional>
-
 #include "simcore/event_queue.hpp"
+#include "simcore/inline_callback.hpp"
 #include "simcore/types.hpp"
 
 namespace rh::sim {
@@ -24,10 +23,12 @@ class Simulation {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `t` (must be >= now()).
-  EventId at(SimTime t, std::function<void()> fn);
+  /// Accepts any void() callable; see InlineCallback for the (non-)
+  /// allocation guarantees.
+  EventId at(SimTime t, InlineCallback fn);
 
   /// Schedules `fn` to run `delay` from now (delay must be >= 0).
-  EventId after(Duration delay, std::function<void()> fn);
+  EventId after(Duration delay, InlineCallback fn);
 
   /// Cancels a pending event; returns true if it had not yet fired.
   bool cancel(EventId id) { return queue_.cancel(id); }

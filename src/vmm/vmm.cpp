@@ -7,7 +7,7 @@
 
 namespace rh::vmm {
 
-void XendQueue::enqueue(sim::Duration d, std::function<void()> done) {
+void XendQueue::enqueue(sim::Duration d, sim::InlineCallback done) {
   ensure(d >= 0, "XendQueue: negative duration");
   ensure(static_cast<bool>(done), "XendQueue: callback required");
   const sim::SimTime start = std::max(sim_.now(), busy_until_);

@@ -43,7 +43,7 @@ class XendQueue {
 
   /// Enqueues an operation of the given duration; `done` fires when the
   /// operation completes (after all previously queued operations).
-  void enqueue(sim::Duration d, std::function<void()> done);
+  void enqueue(sim::Duration d, sim::InlineCallback done);
 
   [[nodiscard]] sim::SimTime busy_until() const { return busy_until_; }
 

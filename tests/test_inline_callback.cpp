@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "simcore/check.hpp"
+#include "simcore/inline_callback.hpp"
+
+namespace rh::test {
+namespace {
+
+using sim::InlineCallback;
+
+TEST(InlineCallback, DefaultConstructedIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.is_inline());
+  EXPECT_THROW(cb(), InvariantViolation);
+}
+
+TEST(InlineCallback, NullFunctionPointerIsEmpty) {
+  void (*fp)() = nullptr;
+  InlineCallback cb(fp);
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, EmptyStdFunctionConvertsToEmpty) {
+  std::function<void()> f;
+  InlineCallback cb(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, InvokesWrappedCallable) {
+  int calls = 0;
+  InlineCallback cb([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineCallback, CapacityCapturesStayInline) {
+  // A this-pointer plus a few ids/durations -- the typical closure
+  // scheduled across src/ -- must not allocate.
+  int sink = 0;
+  std::array<std::int64_t, 5> payload{1, 2, 3, 4, 5};  // 40 bytes
+  static_assert(sizeof(payload) + sizeof(&sink) <= InlineCallback::kInlineCapacity);
+  InlineCallback cb([&sink, payload] { sink = static_cast<int>(payload[4]); });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(sink, 5);
+}
+
+TEST(InlineCallback, MovedInStdFunctionStaysInline) {
+  // std::function<void()> is 32 bytes on the supported ABIs; wrapping one
+  // (the orchestration layers' continuation currency) must not allocate a
+  // second time at the scheduling boundary.
+  int calls = 0;
+  std::function<void()> f = [&calls] { ++calls; };
+  InlineCallback cb(std::move(f));
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineCallback, OversizeCaptureFallsBackToHeap) {
+  std::array<std::int64_t, 16> big{};  // 128 bytes > kInlineCapacity
+  big[15] = 77;
+  std::int64_t out = 0;
+  InlineCallback cb([&out, big] { out = big[15]; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(out, 77);
+}
+
+TEST(InlineCallback, MoveOnlyCaptureSupported) {
+  // std::function cannot hold this closure at all; InlineCallback must.
+  auto owned = std::make_unique<int>(42);
+  int out = 0;
+  InlineCallback cb([&out, owned = std::move(owned)] { out = *owned; });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(InlineCallback, MoveTransfersStateAndEmptiesSource) {
+  int calls = 0;
+  InlineCallback a([&calls] { ++calls; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InlineCallback c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineCallback, MoveOfOversizeCallbackTransfersOwnership) {
+  std::array<std::int64_t, 16> big{};
+  big[0] = 9;
+  std::int64_t out = 0;
+  InlineCallback a([&out, big] { out = big[0]; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(b.is_inline());
+  b();
+  EXPECT_EQ(out, 9);
+}
+
+TEST(InlineCallback, ReassignmentDestroysPreviousTarget) {
+  // The destructor of a replaced callable must run exactly once.
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> n;
+    ~Probe() {
+      if (n) ++*n;
+    }
+    Probe(std::shared_ptr<int> p) : n(std::move(p)) {}
+    Probe(Probe&& o) noexcept = default;
+    Probe(const Probe&) = delete;
+    void operator()() {}
+  };
+  {
+    InlineCallback cb{Probe{counter}};
+    // Moved-from Probes hold a null shared_ptr, so only the final owner
+    // counts; one live owner so far.
+    EXPECT_EQ(*counter, 0);
+    cb = InlineCallback{[] {}};
+    EXPECT_EQ(*counter, 1);  // replaced target destroyed
+  }
+  EXPECT_EQ(*counter, 1);
+}
+
+TEST(InlineCallback, DestructorReleasesCapturedState) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineCallback cb([token = std::move(token)] { (void)*token; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineCallback, ExactlyOneCacheLine) {
+  EXPECT_EQ(sizeof(InlineCallback), 64u);
+}
+
+}  // namespace
+}  // namespace rh::test
