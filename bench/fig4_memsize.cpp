@@ -2,6 +2,9 @@
 // single VM (1..11 GiB). The paper's key contrast: Xen's suspend/resume
 // scales with the image size (disk-bound), the on-memory mechanism does
 // not (0.08 s / 0.9 s at 11 GiB = 0.06 % / 0.7 % of Xen's).
+//
+// The sweep is a replication grid on exp::run_grid: every memory size is
+// replicated under independent seeds and each cell reports mean±95 % CI.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -18,12 +21,12 @@ struct Row {
   double shutdown = 0, boot = 0;
 };
 
-Row measure(int gib) {
+Row measure(int gib, sim::Rng rng) {
   const sim::Bytes memory = static_cast<sim::Bytes>(gib) * sim::kGiB;
   Row row;
   row.gib = gib;
   {  // on-memory
-    Testbed tb;
+    Testbed tb(rng.next());
     auto& g = tb.add_vm("vm", memory, Testbed::ServiceMix::kSsh);
     sim::SimTime t0 = tb.sim.now();
     bool done = false;
@@ -37,7 +40,7 @@ Row measure(int gib) {
     row.resume = sim::to_seconds(tb.sim.now() - t0);
   }
   {  // Xen save/restore
-    Testbed tb;
+    Testbed tb(rng.next());
     auto& g = tb.add_vm("vm", memory, Testbed::ServiceMix::kSsh);
     sim::SimTime t0 = tb.sim.now();
     bool done = false;
@@ -53,7 +56,7 @@ Row measure(int gib) {
     row.restore = sim::to_seconds(tb.sim.now() - t0);
   }
   {  // plain shutdown/boot
-    Testbed tb;
+    Testbed tb(rng.next());
     auto& g = tb.add_vm("vm", memory, Testbed::ServiceMix::kSsh);
     sim::SimTime t0 = tb.sim.now();
     bool done = false;
@@ -71,17 +74,36 @@ Row measure(int gib) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = rh::bench::SweepOptions::parse(argc, argv);
   rh::bench::print_header(
       "Figure 4: pre/post-reboot task time vs VM memory size (one VM)\n"
       "paper anchors at 11 GiB: on-memory 0.08 s / 0.9 s; Xen ~133 s / ~129 s;\n"
       "shutdown/boot independent of memory size");
+
+  const std::vector<int> gibs = {1, 3, 5, 7, 9, 11};
+  enum Metric { kSusp, kResume, kSave, kRestore, kShutdown, kBoot };
+  const auto result =
+      exp::run_grid(opt.grid(gibs.size()), [&](const exp::ReplicationContext& ctx) {
+        const Row r = measure(gibs[ctx.point_index], ctx.rng);
+        exp::ReplicationResult out;
+        out.values = {r.susp, r.resume, r.save, r.restore, r.shutdown, r.boot};
+        return out;
+      });
+
+  rh::bench::print_sweep_banner(result, opt);
   std::printf(
-      "  GiB  onmem-susp  onmem-res   xen-save  xen-restore   shutdown   boot\n");
-  for (int gib = 1; gib <= 11; gib += 2) {
-    const Row r = measure(gib);
-    std::printf("  %-3d  %9.2fs  %8.2fs  %8.1fs  %10.1fs  %8.1fs  %5.1fs\n",
-                r.gib, r.susp, r.resume, r.save, r.restore, r.shutdown, r.boot);
+      "  GiB    onmem-susp     onmem-res       xen-save    xen-restore"
+      "       shutdown           boot   (s)\n");
+  for (std::size_t p = 0; p < gibs.size(); ++p) {
+    const auto& red = result.point(p);
+    std::printf("  %-3d  %12s  %12s  %13s  %13s  %13s  %13s\n", gibs[p],
+                rh::bench::fmt_ci(red.mean(kSusp), red.ci95(kSusp)).c_str(),
+                rh::bench::fmt_ci(red.mean(kResume), red.ci95(kResume)).c_str(),
+                rh::bench::fmt_ci(red.mean(kSave), red.ci95(kSave), "%.1f").c_str(),
+                rh::bench::fmt_ci(red.mean(kRestore), red.ci95(kRestore), "%.1f").c_str(),
+                rh::bench::fmt_ci(red.mean(kShutdown), red.ci95(kShutdown), "%.1f").c_str(),
+                rh::bench::fmt_ci(red.mean(kBoot), red.ci95(kBoot), "%.1f").c_str());
   }
   return 0;
 }

@@ -1,6 +1,8 @@
 // Figure 5: time for pre- and post-reboot tasks vs the number of VMs
 // (1 GiB each). Series: on-memory suspend/resume (RootHammer), Xen's
 // disk-backed save/restore, and plain shutdown/boot.
+//
+// Replicated sweep on exp::run_grid; cells are mean±95 % CI.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -17,11 +19,11 @@ struct Row {
   double shutdown = 0, boot = 0;    // plain
 };
 
-Row measure(int n) {
+Row measure(int n, sim::Rng rng) {
   Row row;
   row.n = n;
   {  // --- on-memory suspend / resume
-    Testbed tb;
+    Testbed tb(rng.next());
     tb.add_vms(n, sim::kGiB, Testbed::ServiceMix::kSsh);
     sim::SimTime t0 = tb.sim.now();
     bool done = false;
@@ -38,7 +40,7 @@ Row measure(int n) {
     row.resume = sim::to_seconds(tb.sim.now() - t0);
   }
   {  // --- Xen save / restore (via disk)
-    Testbed tb;
+    Testbed tb(rng.next());
     tb.add_vms(n, sim::kGiB, Testbed::ServiceMix::kSsh);
     sim::SimTime t0 = tb.sim.now();
     int saved = 0;
@@ -59,7 +61,7 @@ Row measure(int n) {
     row.restore = sim::to_seconds(tb.sim.now() - t0);
   }
   {  // --- plain shutdown / boot
-    Testbed tb;
+    Testbed tb(rng.next());
     tb.add_vms(n, sim::kGiB, Testbed::ServiceMix::kSsh);
     sim::SimTime t0 = tb.sim.now();
     int down = 0;
@@ -81,17 +83,36 @@ Row measure(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = rh::bench::SweepOptions::parse(argc, argv);
   rh::bench::print_header(
       "Figure 5: pre/post-reboot task time vs number of VMs (1 GiB each)\n"
       "paper anchors at n=11: on-memory 0.04 s / 4.2 s; Xen ~200 s / ~155 s;\n"
       "boot grows steeply with n (3.4 n + 2.8)");
+
+  const std::vector<int> counts = {1, 3, 5, 7, 9, 11};
+  enum Metric { kSusp, kResume, kSave, kRestore, kShutdown, kBoot };
+  const auto result = exp::run_grid(
+      opt.grid(counts.size()), [&](const exp::ReplicationContext& ctx) {
+        const Row r = measure(counts[ctx.point_index], ctx.rng);
+        exp::ReplicationResult out;
+        out.values = {r.susp, r.resume, r.save, r.restore, r.shutdown, r.boot};
+        return out;
+      });
+
+  rh::bench::print_sweep_banner(result, opt);
   std::printf(
-      "  n   onmem-susp  onmem-res   xen-save  xen-restore   shutdown    boot\n");
-  for (int n = 1; n <= 11; n += 2) {
-    const Row r = measure(n);
-    std::printf("  %-2d  %9.2fs  %8.2fs  %8.1fs  %10.1fs  %8.1fs  %6.1fs\n",
-                r.n, r.susp, r.resume, r.save, r.restore, r.shutdown, r.boot);
+      "  n      onmem-susp     onmem-res       xen-save    xen-restore"
+      "       shutdown           boot   (s)\n");
+  for (std::size_t p = 0; p < counts.size(); ++p) {
+    const auto& red = result.point(p);
+    std::printf("  %-2d   %12s  %12s  %13s  %13s  %13s  %13s\n", counts[p],
+                rh::bench::fmt_ci(red.mean(kSusp), red.ci95(kSusp)).c_str(),
+                rh::bench::fmt_ci(red.mean(kResume), red.ci95(kResume)).c_str(),
+                rh::bench::fmt_ci(red.mean(kSave), red.ci95(kSave), "%.1f").c_str(),
+                rh::bench::fmt_ci(red.mean(kRestore), red.ci95(kRestore), "%.1f").c_str(),
+                rh::bench::fmt_ci(red.mean(kShutdown), red.ci95(kShutdown), "%.1f").c_str(),
+                rh::bench::fmt_ci(red.mean(kBoot), red.ci95(kBoot), "%.1f").c_str());
   }
   return 0;
 }

@@ -13,8 +13,9 @@ namespace {
 using namespace rh;
 using bench::Testbed;
 
-double mean_downtime(int n, Testbed::ServiceMix mix, rejuv::RebootKind kind) {
-  Testbed tb;
+double mean_downtime(int n, Testbed::ServiceMix mix, rejuv::RebootKind kind,
+                     std::uint64_t seed) {
+  Testbed tb(seed);
   tb.add_vms(n, sim::kGiB, mix);
 
   // One prober per VM against its most demanding service.
@@ -44,24 +45,53 @@ double mean_downtime(int n, Testbed::ServiceMix mix, rejuv::RebootKind kind) {
   return counted > 0 ? total / counted : 0.0;
 }
 
-void run_series(const char* title, Testbed::ServiceMix mix, double paper_warm,
-                double paper_saved, double paper_cold) {
+// One grid point per (service mix, VM count); metrics are the three
+// reboot kinds, each measured on its own seeded testbed.
+struct Point {
+  Testbed::ServiceMix mix;
+  int n;
+};
+
+void print_series(const char* title, const exp::GridResult& result,
+                  const std::vector<Point>& points, Testbed::ServiceMix mix,
+                  double paper_warm, double paper_saved, double paper_cold) {
   std::printf("\n  %s (paper at n=11: warm %.0f s, saved %.0f s, cold %.0f s)\n",
               title, paper_warm, paper_saved, paper_cold);
-  std::printf("  n    warm-VM    saved-VM    cold-VM\n");
-  for (int n = 1; n <= 11; n += 2) {
-    const double w = mean_downtime(n, mix, rejuv::RebootKind::kWarm);
-    const double s = mean_downtime(n, mix, rejuv::RebootKind::kSaved);
-    const double c = mean_downtime(n, mix, rejuv::RebootKind::kCold);
-    std::printf("  %-2d  %7.1f s  %8.1f s  %8.1f s\n", n, w, s, c);
+  std::printf("  n        warm-VM       saved-VM        cold-VM   (s)\n");
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    if (points[p].mix != mix) continue;
+    const auto& red = result.point(p);
+    std::printf("  %-2d  %12s  %13s  %13s\n", points[p].n,
+                rh::bench::fmt_ci(red.mean(0), red.ci95(0), "%.1f").c_str(),
+                rh::bench::fmt_ci(red.mean(1), red.ci95(1), "%.1f").c_str(),
+                rh::bench::fmt_ci(red.mean(2), red.ci95(2), "%.1f").c_str());
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = rh::bench::SweepOptions::parse(argc, argv);
   rh::bench::print_header("Figure 6: service downtime during VMM rejuvenation");
-  run_series("(a) ssh", Testbed::ServiceMix::kSsh, 42, 429, 157);
-  run_series("(b) JBoss", Testbed::ServiceMix::kJboss, 42, 429, 241);
+
+  std::vector<Point> points;
+  for (const auto mix : {Testbed::ServiceMix::kSsh, Testbed::ServiceMix::kJboss}) {
+    for (int n = 1; n <= 11; n += 2) points.push_back({mix, n});
+  }
+  const auto result = exp::run_grid(
+      opt.grid(points.size()), [&](const exp::ReplicationContext& ctx) {
+        const Point& pt = points[ctx.point_index];
+        sim::Rng rng = ctx.rng;
+        exp::ReplicationResult out;
+        out.values = {
+            mean_downtime(pt.n, pt.mix, rejuv::RebootKind::kWarm, rng.next()),
+            mean_downtime(pt.n, pt.mix, rejuv::RebootKind::kSaved, rng.next()),
+            mean_downtime(pt.n, pt.mix, rejuv::RebootKind::kCold, rng.next())};
+        return out;
+      });
+
+  rh::bench::print_sweep_banner(result, opt);
+  print_series("(a) ssh", result, points, Testbed::ServiceMix::kSsh, 42, 429, 157);
+  print_series("(b) JBoss", result, points, Testbed::ServiceMix::kJboss, 42, 429, 241);
   return 0;
 }

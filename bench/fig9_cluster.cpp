@@ -52,11 +52,19 @@ void analytic_part() {
               sim::to_seconds(evac) / 60.0);
 }
 
-void simulated_part() {
+struct SimRow {
+  double baseline = 0, during = 0, after = 0;
+  double longest_host_s = 0;
+  std::uint64_t deferred = 0;
+};
+
+SimRow simulated_once(std::uint64_t seed) {
   sim::Simulation s;
   cluster::Cluster::Config cfg;
   cfg.hosts = 3;
   cfg.vms_per_host = 4;
+  cfg.seed = seed;
+  cfg.calib.timing_jitter = bench::g_replication_jitter;
   cluster::Cluster cl(s, cfg);
   bool ready = false;
   cl.start([&ready] { ready = true; });
@@ -76,31 +84,33 @@ void simulated_part() {
   s.run_for(60 * sim::kSecond);
   fleet.stop();
 
-  const double during = fleet.completions().rate_between(t0, t1);
+  SimRow row;
+  row.baseline = baseline;
+  row.during = fleet.completions().rate_between(t0, t1);
   // Skip the last host's 25 s creation-artifact window for the "after"
   // sample.
-  const double after =
+  row.after =
       fleet.completions().rate_between(t1 + 26 * sim::kSecond, t1 + 56 * sim::kSecond);
-  std::printf("\n  DES cluster (m=3 hosts x 4 VMs, rolling warm rejuvenation):\n");
-  std::printf("    baseline %.0f req/s; during rolling rejuvenation %.0f req/s "
-              "(expect ~(m-1)/m = %.0f); after %.0f req/s\n",
-              baseline, during, baseline * 2.0 / 3.0, after);
-  std::printf("    per-host rejuvenation durations:");
   for (const auto d : cl.rejuvenation_durations()) {
-    std::printf(" %.1f s", sim::to_seconds(d));
+    row.longest_host_s = std::max(row.longest_host_s, sim::to_seconds(d));
   }
-  std::printf("\n    service downtime at the load balancer: zero requests were "
-              "permanently failed; %llu were deferred and retried\n",
-              static_cast<unsigned long long>(cl.balancer().rejected()));
+  row.deferred = cl.balancer().rejected();
+  return row;
 }
 
 // The paper's stated future work: empirically evaluate migration-based
 // rejuvenation. Evacuate a host to a spare by live migration, rejuvenate
 // the (now empty) host, migrate everything back.
-void migration_based_part() {
+struct MigrationRow {
+  double total_min = 0;
+  double worst_downtime_s = 0;
+};
+
+MigrationRow migration_based_once(sim::Rng rng) {
   sim::Simulation s;
-  vmm::Host active(s, Calibration::paper_testbed(), 1);
-  vmm::Host spare(s, Calibration::paper_testbed(), 2);
+  const Calibration calib = bench::replication_calibration();
+  vmm::Host active(s, calib, rng.next());
+  vmm::Host spare(s, calib, rng.next());
   active.instant_start();
   spare.instant_start();
   constexpr int kVms = 4;
@@ -152,30 +162,72 @@ void migration_based_part() {
   while (!finished && s.pending_events() > 0) s.step();
   s.run_for(sim::kSecond);
 
-  double worst_downtime = 0;
+  MigrationRow row;
   for (auto& p : probers) {
     p->stop();
-    worst_downtime =
-        std::max(worst_downtime,
+    row.worst_downtime_s =
+        std::max(row.worst_downtime_s,
                  sim::to_seconds(p->total_downtime(start, s.now())));
   }
-  std::printf("\n  migration-based rejuvenation, measured (1 host + 1 spare, "
-              "%d x 1 GiB VMs):\n", kVms);
-  std::printf("    total procedure (evacuate + reboot + return): %.1f min\n",
-              sim::to_seconds(s.now() - start) / 60.0);
-  std::printf("    worst per-VM service downtime: %.2f s (stop-and-copy only "
-              "-- vs 42 s warm, 241 s cold)\n", worst_downtime);
-  std::printf("    but a spare host was occupied the whole time: cluster "
-              "capacity (m-1)p throughout.\n");
+  row.total_min = sim::to_seconds(s.now() - start) / 60.0;
+  return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = rh::bench::SweepOptions::parse(argc, argv);
   rh::bench::print_header(
       "Figure 9 / Section 6: cluster throughput during rejuvenation");
+  using rh::bench::fmt_ci;
+
+  // The analytic model is closed-form: one evaluation, no replication.
   analytic_part();
-  simulated_part();
-  migration_based_part();
+
+  // DES cluster: one grid point, replicated under independent seeds.
+  enum { kBase, kDuring, kAfter, kLongest, kDeferred };
+  const auto sim_grid =
+      exp::run_grid(opt.grid(1), [](const exp::ReplicationContext& ctx) {
+        const SimRow r = simulated_once(ctx.seed);
+        exp::ReplicationResult out;
+        out.values = {r.baseline, r.during, r.after, r.longest_host_s,
+                      static_cast<double>(r.deferred)};
+        return out;
+      });
+  const auto& sg = sim_grid.point(0);
+  std::printf("\n  DES cluster (m=3 hosts x 4 VMs, rolling warm rejuvenation; "
+              "%zu replications, %zu threads):\n",
+              opt.reps, sim_grid.threads_used);
+  std::printf("    baseline %s req/s; during rolling rejuvenation %s req/s "
+              "(expect ~(m-1)/m = %.0f); after %s req/s\n",
+              fmt_ci(sg.mean(kBase), sg.ci95(kBase), "%.0f").c_str(),
+              fmt_ci(sg.mean(kDuring), sg.ci95(kDuring), "%.0f").c_str(),
+              sg.mean(kBase) * 2.0 / 3.0,
+              fmt_ci(sg.mean(kAfter), sg.ci95(kAfter), "%.0f").c_str());
+  std::printf("    longest per-host rejuvenation: %s s\n",
+              fmt_ci(sg.mean(kLongest), sg.ci95(kLongest), "%.1f").c_str());
+  std::printf("    service downtime at the load balancer: zero requests were "
+              "permanently failed; %s were deferred and retried\n",
+              fmt_ci(sg.mean(kDeferred), sg.ci95(kDeferred), "%.0f").c_str());
+
+  // Migration-based rejuvenation (the paper's future work), replicated.
+  enum { kTotalMin, kWorstDt };
+  const auto mig_grid =
+      exp::run_grid(opt.grid(1), [](const exp::ReplicationContext& ctx) {
+        const MigrationRow r = migration_based_once(ctx.rng);
+        exp::ReplicationResult out;
+        out.values = {r.total_min, r.worst_downtime_s};
+        return out;
+      });
+  const auto& mg = mig_grid.point(0);
+  std::printf("\n  migration-based rejuvenation, measured (1 host + 1 spare, "
+              "4 x 1 GiB VMs; %zu replications):\n", opt.reps);
+  std::printf("    total procedure (evacuate + reboot + return): %s min\n",
+              fmt_ci(mg.mean(kTotalMin), mg.ci95(kTotalMin), "%.1f").c_str());
+  std::printf("    worst per-VM service downtime: %s s (stop-and-copy only "
+              "-- vs 42 s warm, 241 s cold)\n",
+              fmt_ci(mg.mean(kWorstDt), mg.ci95(kWorstDt), "%.2f").c_str());
+  std::printf("    but a spare host was occupied the whole time: cluster "
+              "capacity (m-1)p throughout.\n");
   return 0;
 }

@@ -18,8 +18,8 @@ using namespace rh;
 using bench::Testbed;
 
 /// Downtime of one OS rejuvenation: reboot vm0 while 10 other VMs run.
-double measure_os_downtime() {
-  Testbed tb;
+double measure_os_downtime(std::uint64_t seed) {
+  Testbed tb(seed);
   tb.add_vms(11, sim::kGiB, Testbed::ServiceMix::kJboss);
   auto& g = *tb.guests[0];
   auto* jboss = g.find_service("jboss");
@@ -37,8 +37,8 @@ double measure_os_downtime() {
 }
 
 /// Mean VMM-rejuvenation downtime at n=11 (JBoss), per reboot kind.
-double measure_vmm_downtime(rejuv::RebootKind kind) {
-  Testbed tb;
+double measure_vmm_downtime(rejuv::RebootKind kind, std::uint64_t seed) {
+  Testbed tb(seed);
   tb.add_vms(11, sim::kGiB, Testbed::ServiceMix::kJboss);
   std::vector<std::unique_ptr<workload::Prober>> probers;
   for (auto& g : tb.guests) {
@@ -61,8 +61,8 @@ double measure_vmm_downtime(rejuv::RebootKind kind) {
 }
 
 /// Brute force: run the policy for 4 weeks + margin, probing vm0 at 1 s.
-double simulate_availability(rejuv::RebootKind kind) {
-  Testbed tb;
+double simulate_availability(rejuv::RebootKind kind, std::uint64_t seed) {
+  Testbed tb(seed);
   tb.add_vms(11, sim::kGiB, Testbed::ServiceMix::kJboss);
   auto& g = *tb.guests[0];
   auto* jboss = g.find_service("jboss");
@@ -83,12 +83,11 @@ double simulate_availability(rejuv::RebootKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = rh::bench::SweepOptions::parse(argc, argv);
   rh::bench::print_header(
       "Section 5.3: availability with weekly OS / 4-weekly VMM rejuvenation");
-
-  const double os_dt = measure_os_downtime();
-  std::printf("  one OS rejuvenation downtime: %.1f s (paper: 33.6 s)\n\n", os_dt);
+  using rh::bench::fmt_ci;
 
   struct KindRow {
     rejuv::RebootKind kind;
@@ -100,24 +99,54 @@ int main() {
       {rejuv::RebootKind::kCold, 99.985, true},
       {rejuv::RebootKind::kSaved, 99.977, false},
   };
-  for (const auto& row : rows) {
-    const double vmm_dt = measure_vmm_downtime(row.kind);
+
+  // One replicated grid covering the component measurements: point 0 is
+  // the OS rejuvenation, points 1..3 the VMM rejuvenation per reboot kind.
+  const auto comp_grid =
+      exp::run_grid(opt.grid(4), [&](const exp::ReplicationContext& ctx) {
+        exp::ReplicationResult out;
+        out.values = {ctx.point_index == 0
+                          ? measure_os_downtime(ctx.seed)
+                          : measure_vmm_downtime(rows[ctx.point_index - 1].kind,
+                                                 ctx.seed)};
+        return out;
+      });
+  rh::bench::print_sweep_banner(comp_grid, opt);
+  const double os_dt = comp_grid.point(0).mean(0);
+  std::printf("  one OS rejuvenation downtime: %s s (paper: 33.6 s)\n\n",
+              fmt_ci(os_dt, comp_grid.point(0).ci95(0), "%.1f").c_str());
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto& red = comp_grid.point(k + 1);
+    const double vmm_dt = red.mean(0);
     rejuv::AvailabilityParams p;
     p.os_downtime_s = os_dt;
     p.vmm_downtime_s = vmm_dt;
-    p.vmm_reboot_includes_os = row.includes_os;
+    p.vmm_reboot_includes_os = rows[k].includes_os;
     const double avail = rejuv::availability(p);
-    std::printf("  %-16s VMM downtime %6.1f s -> availability %s (%d nines; "
+    std::printf("  %-16s VMM downtime %12s s -> availability %s (%d nines; "
                 "paper: %.3f %%)\n",
-                rejuv::to_string(row.kind), vmm_dt,
+                rejuv::to_string(rows[k].kind),
+                fmt_ci(vmm_dt, red.ci95(0), "%.1f").c_str(),
                 rejuv::format_availability(avail).c_str(),
-                rejuv::count_nines(avail), row.paper_avail);
+                rejuv::count_nines(avail), rows[k].paper_avail);
   }
 
-  std::printf("\n  brute-force 4-week policy simulation (vm0, 1 s probes):\n");
-  const double warm_sim = simulate_availability(rejuv::RebootKind::kWarm);
-  std::printf("  warm-VM reboot: measured availability %s (%d nines)\n",
+  // Brute-force cross-check, replicated: each seed runs its own 4-week
+  // policy simulation.
+  const auto bf_grid =
+      exp::run_grid(opt.grid(1), [](const exp::ReplicationContext& ctx) {
+        exp::ReplicationResult out;
+        out.values = {
+            simulate_availability(rejuv::RebootKind::kWarm, ctx.seed)};
+        return out;
+      });
+  const double warm_sim = bf_grid.point(0).mean(0);
+  std::printf("\n  brute-force 4-week policy simulation (vm0, 1 s probes, %zu "
+              "replications):\n", opt.reps);
+  std::printf("  warm-VM reboot: measured availability %s (%d nines), "
+              "CI half-width %.5f points\n",
               rejuv::format_availability(warm_sim).c_str(),
-              rejuv::count_nines(warm_sim));
+              rejuv::count_nines(warm_sim), bf_grid.point(0).ci95(0) * 100.0);
   return 0;
 }

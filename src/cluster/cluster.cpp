@@ -14,7 +14,7 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
   ensure(config_.vms_per_host >= 1, "Cluster: need at least one VM per host");
   for (int h = 0; h < config_.hosts; ++h) {
     hosts_.push_back(std::make_unique<vmm::Host>(
-        sim_, config_.calib, /*seed=*/1000 + static_cast<std::uint64_t>(h)));
+        sim_, config_.calib, config_.seed + static_cast<std::uint64_t>(h)));
     guests_.emplace_back();
     for (int v = 0; v < config_.vms_per_host; ++v) {
       auto g = std::make_unique<guest::GuestOs>(

@@ -21,6 +21,10 @@ class Cluster {
     int files_per_vm = 50;
     sim::Bytes file_size = 512 * sim::kKiB;
     Calibration calib;
+    /// Base RNG seed; host h is seeded with `seed + h`. The default keeps
+    /// the historical single-run behaviour; replicated experiments pass a
+    /// per-replication seed from exp::ReplicationContext.
+    std::uint64_t seed = 1000;
   };
 
   Cluster(sim::Simulation& sim, Config config);

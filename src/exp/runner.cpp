@@ -1,0 +1,134 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "exp/thread_pool.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Derives the context of every (point, replication) task on the calling
+/// thread, in lexicographic order, so each substream is a pure function
+/// of (root seed, point index, replication index).
+std::vector<ReplicationContext> derive_contexts(const GridSpec& spec) {
+  std::vector<ReplicationContext> ctxs;
+  ctxs.reserve(spec.points * spec.replications);
+  sim::Rng root(spec.root_seed);
+  for (std::size_t p = 0; p < spec.points; ++p) {
+    sim::Rng point_rng = root.split();
+    for (std::size_t r = 0; r < spec.replications; ++r) {
+      ReplicationContext ctx;
+      ctx.point_index = p;
+      ctx.replication_index = r;
+      ctx.rng = point_rng.split();
+      ctx.seed = ctx.rng.next();
+      ctxs.push_back(std::move(ctx));
+    }
+  }
+  return ctxs;
+}
+
+GridResult reduce(const GridSpec& spec,
+                  const std::vector<ReplicationResult>& results,
+                  const std::vector<std::exception_ptr>& errors) {
+  for (const auto& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+  GridResult out;
+  out.points.resize(spec.points);
+  for (std::size_t p = 0; p < spec.points; ++p) {
+    for (std::size_t r = 0; r < spec.replications; ++r) {
+      out.points[p].add(results[p * spec.replications + r]);
+    }
+  }
+  return out;
+}
+
+void check_spec(const GridSpec& spec) {
+  ensure(spec.points > 0, "run_grid: need at least one point");
+  ensure(spec.replications > 0, "run_grid: need at least one replication");
+}
+
+}  // namespace
+
+void Reducer::add(const ReplicationResult& r) {
+  if (count_ == 0) {
+    metrics_.resize(r.values.size());
+    histograms_.resize(r.histograms.size());
+    series_.resize(r.series.size());
+  } else {
+    ensure(r.values.size() == metrics_.size() &&
+               r.histograms.size() == histograms_.size() &&
+               r.series.size() == series_.size(),
+           "Reducer::add: replications of one point disagree on shape");
+  }
+  for (std::size_t i = 0; i < r.values.size(); ++i) metrics_[i].add(r.values[i]);
+  for (std::size_t i = 0; i < r.histograms.size(); ++i) {
+    histograms_[i].merge(r.histograms[i]);
+  }
+  for (std::size_t i = 0; i < r.series.size(); ++i) series_[i].merge(r.series[i]);
+  ++count_;
+}
+
+double Reducer::mean(std::size_t i) const {
+  ensure(i < metrics_.size(), "Reducer::mean: metric index out of range");
+  return metrics_[i].mean();
+}
+
+double Reducer::ci95(std::size_t i) const {
+  ensure(i < metrics_.size(), "Reducer::ci95: metric index out of range");
+  return sim::ci95_half_width(metrics_[i]);
+}
+
+GridResult run_grid(const GridSpec& spec, const ReplicationBody& body) {
+  check_spec(spec);
+  const auto t0 = Clock::now();
+  const auto ctxs = derive_contexts(spec);
+  std::vector<ReplicationResult> results(ctxs.size());
+  std::vector<std::exception_ptr> errors(ctxs.size());
+
+  ThreadPool pool(spec.threads);
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    pool.submit([&, i] {
+      try {
+        results[i] = body(ctxs[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+
+  GridResult out = reduce(spec, results, errors);
+  out.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.threads_used = pool.worker_count();
+  return out;
+}
+
+GridResult run_grid_sequential(const GridSpec& spec,
+                               const ReplicationBody& body) {
+  check_spec(spec);
+  const auto t0 = Clock::now();
+  const auto ctxs = derive_contexts(spec);
+  std::vector<ReplicationResult> results(ctxs.size());
+  std::vector<std::exception_ptr> errors(ctxs.size());
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    try {
+      results[i] = body(ctxs[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  }
+  GridResult out = reduce(spec, results, errors);
+  out.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.threads_used = 1;
+  return out;
+}
+
+}  // namespace rh::exp

@@ -1,0 +1,100 @@
+#include "exp/thread_pool.hpp"
+
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::exp {
+
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Task task) {
+  ensure(task != nullptr, "ThreadPool::submit: empty task");
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = next_queue_++ % queues_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+ThreadPool::Task ThreadPool::take_task(std::size_t self) {
+  // The caller holds a reservation (decremented queued_), so the total
+  // number of claimants never exceeds the number of pushed tasks; the
+  // scan below terminates.
+  for (std::size_t round = 0;; ++round) {
+    for (std::size_t k = 0; k < queues_.size(); ++k) {
+      auto& q = *queues_[(self + k) % queues_.size()];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (q.tasks.empty()) continue;
+      Task t;
+      if (k == 0) {  // own deque: LIFO for cache warmth
+        t = std::move(q.tasks.back());
+        q.tasks.pop_back();
+      } else {  // steal: FIFO, take the victim's oldest task
+        t = std::move(q.tasks.front());
+        q.tasks.pop_front();
+      }
+      return t;
+    }
+    // Extremely unlikely: a submitter has incremented queued_ but not yet
+    // pushed. Yield and rescan.
+    std::this_thread::yield();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (queued_ == 0 && stop_) return;
+      --queued_;
+    }
+    Task task = take_task(self);
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace rh::exp

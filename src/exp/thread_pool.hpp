@@ -1,0 +1,71 @@
+// Fixed-size thread pool with per-worker task deques and work stealing.
+//
+// The replication runner fans a grid of independent simulation tasks out
+// across cores. Tasks vary wildly in cost (an 11-VM cold reboot vs a
+// 1-VM warm one), so a single shared queue would serialise the cheap tasks
+// behind the lock while stealing lets an idle worker pick up the slack of
+// a loaded one. Determinism is unaffected: tasks only write their own
+// result slot, and the reduction happens after wait_idle() on the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rh::exp {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Starts `threads` workers; 0 means one per hardware thread (>= 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  /// Drains remaining tasks, then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task (round-robin across worker deques). Safe from any
+  /// thread, including from inside a running task.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished. Must not be called
+  /// from inside a task (it would wait on itself).
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// 0-argument default for `threads`: hardware concurrency, at least 1.
+  [[nodiscard]] static std::size_t default_thread_count();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  // Pops one task, preferring `self`'s deque (LIFO, cache-warm), then
+  // scanning the other deques round-robin (FIFO steal). Only called after
+  // a reservation was taken from queued_, so a task is guaranteed to be
+  // found eventually.
+  Task take_task(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  // guards the counters below
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::size_t next_queue_ = 0;  // round-robin submit target
+  std::size_t queued_ = 0;      // pushed, not yet claimed by a worker
+  std::size_t pending_ = 0;     // submitted, not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace rh::exp

@@ -131,7 +131,7 @@ void GuestOs::boot_sequence(std::function<void()> on_up) {
     host_->machine().disk().read(
         calib.os_boot_io, hw::Disk::Access::kSequential,
         [this, &calib, on_up = std::move(on_up)]() mutable {
-          host_->sim().after(calib.os_userland_wait, [this,
+          host_->sim().after(host_->jittered(calib.os_userland_wait), [this,
                                                      on_up = std::move(on_up)]() mutable {
             // Stamp the integrity signature.
             signature_ = host_->rng().next() | 1;
@@ -182,7 +182,7 @@ void GuestOs::shutdown(std::function<void()> on_halted) {
   host_->sim().after(calib.os_shutdown_grace, [this, &calib,
                                               on_halted = std::move(on_halted)]() mutable {
   stop_services_from(0, [this, &calib, on_halted = std::move(on_halted)]() mutable {
-    host_->sim().after(calib.os_shutdown_wait, [this, &calib,
+    host_->sim().after(host_->jittered(calib.os_shutdown_wait), [this, &calib,
                                                on_halted = std::move(on_halted)]() mutable {
       host_->machine().cpu().run(
           calib.os_shutdown_cpu,

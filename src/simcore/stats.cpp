@@ -22,6 +22,24 @@ void Summary::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ += delta * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double Summary::mean() const {
   ensure(n_ > 0, "Summary::mean: no samples");
   return mean_;
@@ -80,6 +98,26 @@ LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y)
     fit.r_squared = 1.0 - ss_res / ss_tot;
   }
   return fit;
+}
+
+double t_critical_95(std::size_t dof) {
+  // Two-sided 95 % (i.e. t_{.975}) critical values, dof 1..30.
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  ensure(dof >= 1, "t_critical_95: need dof >= 1");
+  if (dof <= 30) return kTable[dof - 1];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return 1.960;
+}
+
+double ci95_half_width(const Summary& s) {
+  if (s.count() < 2) return 0.0;
+  return t_critical_95(s.count() - 1) * s.stddev() /
+         std::sqrt(static_cast<double>(s.count()));
 }
 
 double percentile(std::vector<double> values, double p) {

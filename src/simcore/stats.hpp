@@ -15,6 +15,13 @@ class Summary {
  public:
   void add(double x);
 
+  /// Combines another summary into this one (Chan et al.'s parallel
+  /// Welford update), as if every sample of `other` had been add()ed
+  /// here. Mathematically associative; floating-point results depend on
+  /// merge order, so reductions that must be reproducible (the
+  /// experiment runner) always merge in replication-index order.
+  void merge(const Summary& other);
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const;
   [[nodiscard]] double variance() const;  ///< Sample variance (n-1).
@@ -49,5 +56,14 @@ LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y)
 
 /// Percentile (nearest-rank) of a sample vector; p in [0, 100].
 double percentile(std::vector<double> values, double p);
+
+/// Two-sided critical value of Student's t distribution at 95 % confidence
+/// for `dof` degrees of freedom (tabulated 1..30, stepped above that,
+/// converging to the normal 1.960).
+double t_critical_95(std::size_t dof);
+
+/// Half-width of the 95 % confidence interval of the mean of `s`
+/// (t_{.975,n-1} * stddev / sqrt(n)). Zero when fewer than two samples.
+double ci95_half_width(const Summary& s);
 
 }  // namespace rh::sim

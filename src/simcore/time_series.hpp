@@ -36,6 +36,12 @@ class TimeSeries {
                                                 Duration bin_width,
                                                 double fill = 0.0) const;
 
+  /// Merges `other`'s samples into this series, keeping global time
+  /// order. Stable: where timestamps tie, this series' samples stay ahead
+  /// of `other`'s, so a reduction that merges replications in index order
+  /// produces one well-defined sample order.
+  void merge(const TimeSeries& other);
+
   void clear() { samples_.clear(); }
 
  private:
@@ -63,6 +69,10 @@ class RateRecorder {
 
   /// Time of the last recorded event strictly before `before`, if any.
   [[nodiscard]] std::optional<SimTime> last_event_before(SimTime before) const;
+
+  /// Merges `other`'s events into this recorder (same stability contract
+  /// as TimeSeries::merge); totals add.
+  void merge(const RateRecorder& other);
 
   void clear();
 

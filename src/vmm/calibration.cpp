@@ -23,6 +23,8 @@ void Calibration::validate() const {
          "Calibration: save/restore throughput must be positive");
   ensure(creation_artifact_nic_factor > 0.0 && creation_artifact_nic_factor <= 1.0,
          "Calibration: artifact NIC factor out of (0,1]");
+  ensure(timing_jitter >= 0.0 && timing_jitter < 1.0,
+         "Calibration: timing_jitter out of [0,1)");
 }
 
 }  // namespace rh

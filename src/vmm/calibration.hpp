@@ -162,6 +162,16 @@ struct Calibration {
   /// (Clark et al.: 12 % for Apache; the paper's Sec. 6 analysis).
   double migration_degradation = 0.12;
 
+  // -------------------------------------------------- measurement noise
+  /// Run-to-run timing variation as a fraction (stddev/nominal) applied to
+  /// the wait-dominated phases (userland boots, shutdown waits) through
+  /// Host::jittered(). 0 (the default) keeps every duration at its exact
+  /// calibrated constant -- the historical single-run behaviour. The
+  /// replicated benches set it (~2 %, the paper's testbed showed seconds
+  /// of spread on ~40 s reboots) so confidence intervals across seeds are
+  /// non-degenerate.
+  double timing_jitter = 0.0;
+
   /// Paper-testbed defaults (same as value-initialisation; named for
   /// readability at call sites).
   [[nodiscard]] static Calibration paper_testbed() { return {}; }

@@ -15,6 +15,13 @@ Host::Host(sim::Simulation& sim, Calibration calib, std::uint64_t seed)
   calib_.validate();
 }
 
+sim::Duration Host::jittered(sim::Duration d) {
+  if (calib_.timing_jitter <= 0.0 || d <= 0) return d;
+  const auto stddev = static_cast<sim::Duration>(
+      calib_.timing_jitter * static_cast<double>(d));
+  return rng_.normal_duration(d, stddev, d / 2);
+}
+
 Vmm& Host::vmm() {
   ensure(vmm_ != nullptr, "Host::vmm: no VMM instance (rebooting?)");
   return *vmm_;
@@ -49,7 +56,7 @@ void Host::shutdown_dom0(std::function<void()> on_down) {
   ensure(dom0_state_ == Dom0State::kRunning, "shutdown_dom0: dom0 not running");
   dom0_state_ = Dom0State::kShuttingDown;
   tracer_.emit(sim_.now(), "host", "dom0 shutting down");
-  sim_.after(calib_.dom0_shutdown, [this, on_down = std::move(on_down)] {
+  sim_.after(jittered(calib_.dom0_shutdown), [this, on_down = std::move(on_down)] {
     dom0_state_ = Dom0State::kDown;
     tracer_.emit(sim_.now(), "host", "dom0 down");
     on_down();
@@ -61,7 +68,7 @@ void Host::boot_vmm(BootMode mode, std::function<void()> on_up) {
   vmm_->boot([this, on_up = std::move(on_up)] {
     vmm_ready_at_ = sim_.now();
     dom0_state_ = Dom0State::kBooting;
-    sim_.after(calib_.dom0_userland_boot, [this, on_up] {
+    sim_.after(jittered(calib_.dom0_userland_boot), [this, on_up] {
       dom0_state_ = Dom0State::kRunning;
       dom0_up_at_ = sim_.now();
       restart_daemons();
@@ -77,7 +84,7 @@ void Host::restart_dom0(std::function<void()> on_up) {
   tracer_.emit(sim_.now(), "host", "restarting dom0 only (VMM untouched)");
   shutdown_dom0([this, on_up = std::move(on_up)]() mutable {
     dom0_state_ = Dom0State::kBooting;
-    sim_.after(calib_.dom0_userland_boot, [this, on_up = std::move(on_up)] {
+    sim_.after(jittered(calib_.dom0_userland_boot), [this, on_up = std::move(on_up)] {
       dom0_state_ = Dom0State::kRunning;
       dom0_up_at_ = sim_.now();
       restart_daemons();

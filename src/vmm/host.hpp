@@ -120,6 +120,12 @@ class Host {
   /// delivery rate by this.
   [[nodiscard]] double throughput_factor() const;
 
+  /// Applies the calibration's timing_jitter to a nominal duration: a
+  /// normal draw with stddev = jitter * d, clamped to >= d/2. Identity
+  /// (no RNG draw, so existing seeds reproduce exactly) when
+  /// timing_jitter == 0.
+  [[nodiscard]] sim::Duration jittered(sim::Duration d);
+
  private:
   void boot_vmm(BootMode mode, std::function<void()> on_up);
   std::unique_ptr<Vmm> new_vmm(BootMode mode);

@@ -71,6 +71,54 @@ TEST(LatencyHistogram, MergeCombines) {
   EXPECT_DOUBLE_EQ(a.mean(), (10 + 20 + 1000) / 3.0);
 }
 
+TEST(LatencyHistogram, MergeEmptyIsIdentity) {
+  sim::LatencyHistogram a, empty;
+  a.add(10 * sim::kMillisecond);
+  a.add(20 * sim::kMillisecond);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), std::uint64_t{2});
+  EXPECT_DOUBLE_EQ(a.mean(), 15.0 * sim::kMillisecond);
+  sim::LatencyHistogram b;
+  b.merge(a);  // merging into an empty histogram copies
+  EXPECT_EQ(b.count(), a.count());
+  EXPECT_EQ(b.percentile(50), a.percentile(50));
+  EXPECT_EQ(b.min(), a.min());
+  EXPECT_EQ(b.max(), a.max());
+}
+
+TEST(LatencyHistogram, MergeSingleSample) {
+  sim::LatencyHistogram a, b;
+  b.add(5 * sim::kSecond);
+  a.merge(b);
+  EXPECT_EQ(a.count(), std::uint64_t{1});
+  EXPECT_EQ(a.min(), 5 * sim::kSecond);
+  EXPECT_EQ(a.max(), 5 * sim::kSecond);
+}
+
+TEST(LatencyHistogram, MergeIsAssociative) {
+  // Bucket counts are integers, so merge associativity is exact: compare
+  // (a+b)+c against a+(b+c) on count, moments and percentiles.
+  sim::Rng rng(11);
+  sim::LatencyHistogram a, b, c;
+  for (int i = 0; i < 300; ++i) a.add(rng.exponential_duration(10 * sim::kMillisecond));
+  for (int i = 0; i < 200; ++i) b.add(rng.exponential_duration(40 * sim::kMillisecond));
+  for (int i = 0; i < 100; ++i) c.add(rng.exponential_duration(2 * sim::kSecond));
+  sim::LatencyHistogram ab = a;
+  ab.merge(b);
+  ab.merge(c);
+  sim::LatencyHistogram bc = b;
+  bc.merge(c);
+  sim::LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab.count(), a_bc.count());
+  EXPECT_DOUBLE_EQ(ab.mean(), a_bc.mean());
+  EXPECT_EQ(ab.min(), a_bc.min());
+  EXPECT_EQ(ab.max(), a_bc.max());
+  for (const int p : {10, 50, 90, 99}) {
+    EXPECT_EQ(ab.percentile(p), a_bc.percentile(p));
+  }
+}
+
 TEST(LatencyHistogram, ClearAndEdgeValues) {
   sim::LatencyHistogram h;
   h.add(0);  // clamps into the first bucket

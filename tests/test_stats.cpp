@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "simcore/check.hpp"
 #include "simcore/stats.hpp"
 
@@ -23,6 +26,86 @@ TEST(Summary, EmptyThrows) {
   EXPECT_THROW((void)s.min(), InvariantViolation);
   s.add(1.0);
   EXPECT_THROW((void)s.variance(), InvariantViolation);  // needs two samples
+}
+
+TEST(SummaryMerge, EmptyIntoEmpty) {
+  sim::Summary a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), std::size_t{0});
+}
+
+TEST(SummaryMerge, EmptySidesAreIdentity) {
+  sim::Summary a, b, empty;
+  for (const double x : {1.0, 2.0, 3.0}) a.add(x);
+  b = a;
+  a.merge(empty);  // right identity
+  EXPECT_EQ(a.count(), std::size_t{3});
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  sim::Summary left;
+  left.merge(b);  // left identity
+  EXPECT_EQ(left.count(), std::size_t{3});
+  EXPECT_DOUBLE_EQ(left.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(left.variance(), b.variance());
+}
+
+TEST(SummaryMerge, MatchesSingleStream) {
+  // Split one sample stream in two, merge, and compare against adding
+  // everything to a single Summary.
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  sim::Summary whole, left, right;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(SummaryMerge, AssociativeUpToFloatNoise) {
+  sim::Summary a, b, c;
+  for (const double x : {1.0, 5.0}) a.add(x);
+  for (const double x : {2.0, 8.0, 3.0}) b.add(x);
+  c.add(11.0);
+  // (a + b) + c  vs  a + (b + c)
+  sim::Summary ab = a;
+  ab.merge(b);
+  ab.merge(c);
+  sim::Summary bc = b;
+  bc.merge(c);
+  sim::Summary a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab.count(), a_bc.count());
+  EXPECT_NEAR(ab.mean(), a_bc.mean(), 1e-12);
+  EXPECT_NEAR(ab.variance(), a_bc.variance(), 1e-12);
+}
+
+TEST(TCritical, TabulatedAndAsymptoticValues) {
+  EXPECT_NEAR(sim::t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(sim::t_critical_95(4), 2.776, 1e-3);
+  EXPECT_NEAR(sim::t_critical_95(30), 2.042, 1e-3);
+  EXPECT_NEAR(sim::t_critical_95(60), 2.000, 1e-3);
+  EXPECT_NEAR(sim::t_critical_95(100000), 1.960, 1e-3);
+  // Monotone nonincreasing in dof.
+  double prev = sim::t_critical_95(1);
+  for (std::size_t dof = 2; dof <= 200; ++dof) {
+    EXPECT_LE(sim::t_critical_95(dof), prev + 1e-12);
+    prev = sim::t_critical_95(dof);
+  }
+}
+
+TEST(Ci95, HalfWidth) {
+  sim::Summary s;
+  EXPECT_DOUBLE_EQ(sim::ci95_half_width(s), 0.0);  // empty
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(sim::ci95_half_width(s), 0.0);  // one sample
+  s.add(7.0);  // mean 6, stddev sqrt(2), dof 1
+  EXPECT_NEAR(sim::ci95_half_width(s), 12.706 * std::sqrt(2.0) / std::sqrt(2.0),
+              1e-3);
 }
 
 TEST(LinearFit, ExactLine) {
