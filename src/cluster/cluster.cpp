@@ -15,6 +15,10 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
   for (int h = 0; h < config_.hosts; ++h) {
     hosts_.push_back(std::make_unique<vmm::Host>(
         sim_, config_.calib, config_.seed + static_cast<std::uint64_t>(h)));
+    // Arm fault injection (a no-op drawing nothing when all rates are
+    // zero) before any other per-host RNG use, so the fault substream is
+    // a fixed function of the host seed alone.
+    hosts_.back()->configure_faults(config_.faults);
     guests_.emplace_back();
     for (int v = 0; v < config_.vms_per_host; ++v) {
       auto g = std::make_unique<guest::GuestOs>(
@@ -75,6 +79,9 @@ void Cluster::start(std::function<void()> on_ready) {
 void Cluster::rolling_rejuvenation(rejuv::RebootKind kind,
                                    std::function<void()> on_done) {
   ensure(static_cast<bool>(on_done), "rolling_rejuvenation: callback required");
+  ensure(!rolling_in_progress_,
+         "rolling_rejuvenation: a rolling pass is already in progress");
+  rolling_in_progress_ = true;
   durations_.clear();
   rejuvenate_from(0, kind, std::move(on_done));
 }
@@ -83,6 +90,7 @@ void Cluster::rejuvenate_from(std::size_t host_index, rejuv::RebootKind kind,
                               std::function<void()> on_done) {
   if (host_index == hosts_.size()) {
     active_driver_.reset();
+    rolling_in_progress_ = false;
     on_done();
     return;
   }
@@ -92,6 +100,101 @@ void Cluster::rejuvenate_from(std::size_t host_index, rejuv::RebootKind kind,
     durations_.push_back(active_driver_->total_duration());
     rejuvenate_from(host_index + 1, kind, std::move(on_done));
   });
+}
+
+void Cluster::rolling_rejuvenation_supervised(
+    SupervisionConfig config,
+    std::function<void(const RollingReport&)> on_done) {
+  ensure(static_cast<bool>(on_done),
+         "rolling_rejuvenation_supervised: callback required");
+  ensure(!rolling_in_progress_,
+         "rolling_rejuvenation_supervised: a rolling pass is already in progress");
+  ensure(config.max_host_retries >= 0,
+         "rolling_rejuvenation_supervised: negative retry budget");
+  ensure(config.host_retry_base > 0 &&
+             config.host_retry_cap >= config.host_retry_base,
+         "rolling_rejuvenation_supervised: need cap >= base > 0");
+  rolling_in_progress_ = true;
+  supervision_ = config;
+  rolling_report_ = {};
+  retry_queue_.clear();
+  durations_.clear();
+  supervise_from(0, std::move(on_done));
+}
+
+void Cluster::supervise_from(std::size_t host_index,
+                             std::function<void(const RollingReport&)> on_done) {
+  if (host_index == hosts_.size()) {
+    if (retry_queue_.empty()) {
+      finish_rolling(std::move(on_done));
+    } else {
+      retry_evicted(0, 0, std::move(on_done));
+    }
+    return;
+  }
+  active_supervisor_ = std::make_unique<rejuv::Supervisor>(
+      *hosts_[host_index], guests_of(static_cast<int>(host_index)),
+      supervision_.supervisor);
+  active_supervisor_->run([this, host_index, on_done = std::move(on_done)](
+                              const rejuv::SupervisorReport& report) mutable {
+    rolling_report_.passes.push_back(report);
+    durations_.push_back(report.total_duration());
+    if (!report.success) {
+      // The ladder exhausted on this host: take its backends out of
+      // rotation and queue it for an end-of-pass retry. The pass goes on.
+      balancer_.set_host_evicted(hosts_[host_index].get(), true);
+      rolling_report_.evicted_hosts.push_back(host_index);
+      retry_queue_.push_back(host_index);
+    }
+    supervise_from(host_index + 1, std::move(on_done));
+  });
+}
+
+void Cluster::retry_evicted(std::size_t queue_index, int attempt,
+                            std::function<void(const RollingReport&)> on_done) {
+  if (queue_index == retry_queue_.size()) {
+    finish_rolling(std::move(on_done));
+    return;
+  }
+  const std::size_t host_index = retry_queue_[queue_index];
+  sim_.after(host_retry_backoff(attempt), [this, queue_index, attempt,
+                                           host_index,
+                                           on_done = std::move(on_done)]() mutable {
+    active_supervisor_ = std::make_unique<rejuv::Supervisor>(
+        *hosts_[host_index], guests_of(static_cast<int>(host_index)),
+        supervision_.supervisor);
+    active_supervisor_->recover(
+        [this, queue_index, attempt, host_index, on_done = std::move(on_done)](
+            const rejuv::SupervisorReport& report) mutable {
+          rolling_report_.passes.push_back(report);
+          if (report.success) {
+            balancer_.set_host_evicted(hosts_[host_index].get(), false);
+            rolling_report_.recovered_hosts.push_back(host_index);
+            retry_evicted(queue_index + 1, 0, std::move(on_done));
+          } else if (attempt < supervision_.max_host_retries) {
+            retry_evicted(queue_index, attempt + 1, std::move(on_done));
+          } else {
+            rolling_report_.failed_hosts.push_back(host_index);
+            retry_evicted(queue_index + 1, 0, std::move(on_done));
+          }
+        });
+  });
+}
+
+void Cluster::finish_rolling(std::function<void(const RollingReport&)> on_done) {
+  active_supervisor_.reset();
+  retry_queue_.clear();
+  rolling_in_progress_ = false;
+  on_done(rolling_report_);
+}
+
+sim::Duration Cluster::host_retry_backoff(int attempt) const {
+  sim::Duration delay = supervision_.host_retry_base;
+  for (int k = 0; k < attempt && delay < supervision_.host_retry_cap; ++k) {
+    delay *= 2;
+  }
+  return delay < supervision_.host_retry_cap ? delay
+                                             : supervision_.host_retry_cap;
 }
 
 }  // namespace rh::cluster

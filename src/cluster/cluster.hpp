@@ -9,6 +9,7 @@
 
 #include "cluster/load_balancer.hpp"
 #include "rejuv/reboot_driver.hpp"
+#include "rejuv/supervisor.hpp"
 
 namespace rh::cluster {
 
@@ -25,6 +26,34 @@ class Cluster {
     /// the historical single-run behaviour; replicated experiments pass a
     /// per-replication seed from exp::ReplicationContext.
     std::uint64_t seed = 1000;
+    /// Per-host fault plan. All-zero (the default) arms nothing and draws
+    /// nothing, so fault-free clusters reproduce historical runs exactly.
+    fault::FaultConfig faults;
+  };
+
+  /// Knobs for the supervised rolling pass (rolling_rejuvenation_supervised).
+  struct SupervisionConfig {
+    rejuv::SupervisorConfig supervisor;
+    /// A host whose pass left VMs unrecovered is evicted from the balancer
+    /// and retried at the end of the pass, up to this many times, with
+    /// capped exponential backoff between attempts.
+    int max_host_retries = 2;
+    sim::Duration host_retry_base = 30 * sim::kMinute;
+    sim::Duration host_retry_cap = 2 * sim::kHour;
+  };
+
+  /// Outcome of one supervised rolling pass.
+  struct RollingReport {
+    /// One report per supervisor run, in execution order (initial pass
+    /// over every host, then end-of-pass host retries).
+    std::vector<rejuv::SupervisorReport> passes;
+    /// Hosts evicted mid-pass because their ladder exhausted.
+    std::vector<std::size_t> evicted_hosts;
+    /// Evicted hosts brought back by the end-of-pass retries.
+    std::vector<std::size_t> recovered_hosts;
+    /// Hosts still evicted when the pass ended (retries exhausted too).
+    std::vector<std::size_t> failed_hosts;
+    [[nodiscard]] bool fully_recovered() const { return failed_hosts.empty(); }
   };
 
   Cluster(sim::Simulation& sim, Config config);
@@ -44,7 +73,27 @@ class Cluster {
 
   /// Rejuvenates every host's VMM in turn (never two at once), using the
   /// given reboot strategy. `on_done` fires after the last host is back.
+  /// Overlapping passes are an invariant violation: a second call while a
+  /// pass is in flight would silently drop the first pass's driver
+  /// mid-reboot, so it fails fast instead.
   void rolling_rejuvenation(rejuv::RebootKind kind, std::function<void()> on_done);
+
+  /// Fault-tolerant rolling pass: each host runs under a rejuv::Supervisor
+  /// (watchdogs, retries, the warm->saved->cold degradation ladder). A
+  /// host whose ladder exhausts is evicted from the balancer and the pass
+  /// continues; evicted hosts are retried with backoff once the pass has
+  /// covered every other host. Same overlap rule as the plain pass.
+  void rolling_rejuvenation_supervised(
+      SupervisionConfig config,
+      std::function<void(const RollingReport&)> on_done);
+
+  /// True while either flavour of rolling pass is in flight.
+  [[nodiscard]] bool rolling_in_progress() const { return rolling_in_progress_; }
+
+  /// Report of the last supervised rolling pass (valid after it completes).
+  [[nodiscard]] const RollingReport& last_rolling_report() const {
+    return rolling_report_;
+  }
 
   /// Duration of each host's rejuvenation in the last rolling pass.
   [[nodiscard]] const std::vector<sim::Duration>& rejuvenation_durations() const {
@@ -54,6 +103,12 @@ class Cluster {
  private:
   void rejuvenate_from(std::size_t host_index, rejuv::RebootKind kind,
                        std::function<void()> on_done);
+  void supervise_from(std::size_t host_index,
+                      std::function<void(const RollingReport&)> on_done);
+  void retry_evicted(std::size_t queue_index, int attempt,
+                     std::function<void(const RollingReport&)> on_done);
+  void finish_rolling(std::function<void(const RollingReport&)> on_done);
+  [[nodiscard]] sim::Duration host_retry_backoff(int attempt) const;
 
   sim::Simulation& sim_;
   Config config_;
@@ -61,7 +116,12 @@ class Cluster {
   std::vector<std::vector<std::unique_ptr<guest::GuestOs>>> guests_;
   LoadBalancer balancer_;
   std::unique_ptr<rejuv::RebootDriver> active_driver_;
+  std::unique_ptr<rejuv::Supervisor> active_supervisor_;
   std::vector<sim::Duration> durations_;
+  bool rolling_in_progress_ = false;
+  SupervisionConfig supervision_;
+  RollingReport rolling_report_;
+  std::vector<std::size_t> retry_queue_;
 };
 
 }  // namespace rh::cluster

@@ -16,7 +16,22 @@ void LoadBalancer::add_backend(Backend backend) {
 std::size_t LoadBalancer::reachable_backends() const {
   std::size_t n = 0;
   for (const auto& s : backends_) {
-    if (s.backend.os->service_reachable(*s.backend.apache)) ++n;
+    if (!s.evicted && s.backend.os->service_reachable(*s.backend.apache)) ++n;
+  }
+  return n;
+}
+
+void LoadBalancer::set_host_evicted(const vmm::Host* host, bool evicted) {
+  ensure(host != nullptr, "LoadBalancer::set_host_evicted: null host");
+  for (auto& s : backends_) {
+    if (&s.backend.os->host() == host) s.evicted = evicted;
+  }
+}
+
+std::size_t LoadBalancer::evicted_backends() const {
+  std::size_t n = 0;
+  for (const auto& s : backends_) {
+    if (s.evicted) ++n;
   }
   return n;
 }
@@ -28,6 +43,7 @@ void LoadBalancer::dispatch(std::function<void(bool)> done) {
   for (std::size_t probe = 0; probe < backends_.size(); ++probe) {
     Slot& slot = backends_[rr_ % backends_.size()];
     ++rr_;
+    if (slot.evicted) continue;
     if (!slot.backend.os->service_reachable(*slot.backend.apache)) continue;
     const auto file = slot.backend.files[slot.next_file % slot.backend.files.size()];
     ++slot.next_file;

@@ -30,6 +30,14 @@ class LoadBalancer {
   [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
   [[nodiscard]] std::size_t reachable_backends() const;
 
+  /// Administratively removes (or restores) every backend on `host` from
+  /// the rotation, independent of reachability. The supervised rolling
+  /// rejuvenation evicts a host whose recovery ladder exhausted -- its
+  /// surviving VMs may still answer probes, but the operator does not
+  /// want traffic on a half-recovered machine until it is fixed.
+  void set_host_evicted(const vmm::Host* host, bool evicted);
+  [[nodiscard]] std::size_t evicted_backends() const;
+
   /// Dispatches one request round-robin across reachable backends;
   /// done(false) when no backend is reachable or the chosen backend went
   /// down mid-request.
@@ -42,6 +50,7 @@ class LoadBalancer {
   struct Slot {
     Backend backend;
     std::size_t next_file = 0;
+    bool evicted = false;
   };
   std::vector<Slot> backends_;
   std::size_t rr_ = 0;

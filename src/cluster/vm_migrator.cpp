@@ -45,6 +45,15 @@ void VmMigrator::precopy_round(sim::Bytes to_send) {
     stop_and_copy(to_send);
     return;
   }
+  // The migration stream can die mid-pre-copy (TCP reset, destination
+  // daemon crash). Safe failure mode: the VM never stopped running on the
+  // source, so aborting costs only the bandwidth already spent.
+  if (src_->faults().roll(fault::FaultKind::kMigrationAbort, src_->sim().now(),
+                          "migrate:" + vm_->name() + ":round" +
+                              std::to_string(rounds_))) {
+    abort("stream lost in pre-copy round " + std::to_string(rounds_));
+    return;
+  }
   // The VM keeps running and dirtying memory while this round streams at
   // the migration algorithm's (rate-limited) effective bandwidth.
   const sim::SimTime round_start = src_->sim().now();
@@ -88,7 +97,22 @@ void VmMigrator::stop_and_copy(sim::Bytes residue) {
   });
 }
 
+void VmMigrator::abort(const std::string& why) {
+  result_.success = false;
+  result_.estimate.total = src_->sim().now() - started_at_;
+  result_.estimate.rounds = rounds_;
+  result_.estimate.bytes_transferred = transferred_;
+  src_->set_background_transfer(false);
+  dst_->set_background_transfer(false);
+  src_->tracer().emit(src_->sim().now(), "migrate",
+                      "migration of '" + vm_->name() + "' ABORTED: " + why);
+  in_progress_ = false;
+  auto done = std::move(done_);
+  done(result_);
+}
+
 void VmMigrator::finish() {
+  result_.success = true;
   result_.estimate.total = src_->sim().now() - started_at_;
   result_.estimate.rounds = rounds_;
   result_.estimate.bytes_transferred = transferred_;

@@ -30,6 +30,10 @@ class VmMigrator {
     DomainId destination_domain = kNoDomain;
     /// Service downtime: suspend on the source -> running on destination.
     sim::Duration observed_downtime = 0;
+    /// False when an injected fault aborted the migration mid-pre-copy.
+    /// The VM is untouched on the source (pre-copy never disturbs it);
+    /// the bandwidth already spent is recorded in the estimate.
+    bool success = false;
   };
 
   /// Live-migrates `vm` from its current host to `dst`. The VM must be
@@ -45,6 +49,7 @@ class VmMigrator {
   void precopy_round(sim::Bytes to_send);
   void stop_and_copy(sim::Bytes residue);
   void finish();
+  void abort(const std::string& why);
 
   MigrationConfig config_;
   bool in_progress_ = false;

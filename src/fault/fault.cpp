@@ -1,0 +1,83 @@
+#include "fault/fault.hpp"
+
+#include "simcore/check.hpp"
+
+namespace rh::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kXexecLoadFailure: return "xexec-load-failure";
+    case FaultKind::kVmmCrash: return "vmm-crash";
+    case FaultKind::kDiskWriteError: return "disk-write-error";
+    case FaultKind::kDiskReadError: return "disk-read-error";
+    case FaultKind::kCorruptPreservedImage: return "corrupt-preserved-image";
+    case FaultKind::kMigrationAbort: return "migration-abort";
+    case FaultKind::kGuestBootHang: return "guest-boot-hang";
+    case FaultKind::kCount: break;
+  }
+  return "unknown";
+}
+
+double FaultConfig::rate_of(FaultKind k) const {
+  switch (k) {
+    case FaultKind::kXexecLoadFailure: return xexec_failure_rate;
+    case FaultKind::kVmmCrash: return vmm_crash_rate;
+    case FaultKind::kDiskWriteError: return disk_write_error_rate;
+    case FaultKind::kDiskReadError: return disk_read_error_rate;
+    case FaultKind::kCorruptPreservedImage: return image_corruption_rate;
+    case FaultKind::kMigrationAbort: return migration_abort_rate;
+    case FaultKind::kGuestBootHang: return boot_hang_rate;
+    case FaultKind::kCount: break;
+  }
+  throw InvariantViolation("FaultConfig::rate_of: bad kind");
+}
+
+bool FaultConfig::enabled() const {
+  for (std::size_t k = 0; k < static_cast<std::size_t>(FaultKind::kCount); ++k) {
+    if (rate_of(static_cast<FaultKind>(k)) > 0.0) return true;
+  }
+  return false;
+}
+
+FaultConfig FaultConfig::uniform(double rate) {
+  ensure(rate >= 0.0 && rate <= 1.0, "FaultConfig::uniform: rate out of [0,1]");
+  FaultConfig c;
+  c.xexec_failure_rate = rate;
+  c.vmm_crash_rate = rate;
+  c.disk_write_error_rate = rate;
+  c.disk_read_error_rate = rate;
+  c.image_corruption_rate = rate;
+  c.migration_abort_rate = rate;
+  c.boot_hang_rate = rate;
+  return c;
+}
+
+bool FaultInjector::roll(FaultKind kind, sim::SimTime now,
+                         const std::string& where) {
+  const double rate = config_.rate_of(kind);
+  if (rate <= 0.0) return false;  // disabled kinds leave the stream untouched
+  if (!stream_.chance(rate)) return false;
+  ++counts_[static_cast<std::size_t>(kind)];
+  records_.push_back({kind, now, where});
+  return true;
+}
+
+std::uint64_t FaultInjector::count(FaultKind kind) const {
+  ensure(kind != FaultKind::kCount, "FaultInjector::count: bad kind");
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::string FaultInjector::schedule_fingerprint() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += to_string(r.kind);
+    out += '@';
+    out += std::to_string(r.at);
+    out += ':';
+    out += r.where;
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace rh::fault

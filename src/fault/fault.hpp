@@ -1,0 +1,112 @@
+// Deterministic fault injection: the "failing world" the recovery layer
+// is tested against.
+//
+// The paper's availability argument assumes every warm reboot, disk
+// save/restore and migration succeeds; ReHype (Le & Tamir) shows the
+// interesting regime is exactly when the rejuvenation mechanism itself
+// fails, and Garg et al.'s checkpoint work shows saved images can be lost
+// or corrupted. The FaultInjector gives every host a *fault plan*: a
+// per-mechanism failure probability evaluated at well-defined injection
+// points (see FaultKind). Draws come from a private RNG substream split
+// off the host's generator with Rng::split(), so a fault schedule is
+//  - deterministic per seed: the same seed produces the same faults at
+//    the same simulated times, and
+//  - independent of experiment scheduling: exp::run_grid derives one
+//    substream per replication on the calling thread, so the merged
+//    output is byte-identical at any --threads value.
+//
+// A disabled injector (any rate == 0 for that kind) never draws from its
+// stream, so default configurations reproduce pre-fault outputs exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/random.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::fault {
+
+/// Every injection point in the simulator, i.e. the fault taxonomy of
+/// DESIGN.md §8. Keep kCount last.
+enum class FaultKind : std::uint8_t {
+  kXexecLoadFailure,       ///< quick-reload image load fails (warm path)
+  kVmmCrash,               ///< sudden VMM crash: aging hits before the timer
+  kDiskWriteError,         ///< save_to_disk write fails; image lost
+  kDiskReadError,          ///< restore_from_disk read fails; image unusable
+  kCorruptPreservedImage,  ///< preserved image corrupted; caught by checksum
+  kMigrationAbort,         ///< pre-copy round aborts mid-migration
+  kGuestBootHang,          ///< guest OS boot hangs (watchdog territory)
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// Per-mechanism failure probabilities, evaluated independently at each
+/// injection point. All-zero (the default) disables injection entirely.
+struct FaultConfig {
+  double xexec_failure_rate = 0.0;
+  double vmm_crash_rate = 0.0;
+  double disk_write_error_rate = 0.0;
+  double disk_read_error_rate = 0.0;
+  double image_corruption_rate = 0.0;
+  double migration_abort_rate = 0.0;
+  double boot_hang_rate = 0.0;
+
+  [[nodiscard]] double rate_of(FaultKind k) const;
+  [[nodiscard]] bool enabled() const;
+
+  /// Every mechanism fails with the same probability -- the x-axis of the
+  /// availability-vs-fault-rate sweep.
+  [[nodiscard]] static FaultConfig uniform(double rate);
+};
+
+/// One injected fault, for post-mortem accounting and determinism tests.
+struct FaultRecord {
+  FaultKind kind = FaultKind::kCount;
+  sim::SimTime at = 0;
+  std::string where;
+};
+
+/// Per-host fault plan. Mechanisms call roll() at their injection point;
+/// a hit is recorded and the mechanism then misbehaves accordingly.
+class FaultInjector {
+ public:
+  /// Disabled injector: no rates, never draws.
+  FaultInjector() = default;
+
+  /// `stream` must be a private substream (e.g. host_rng.split()) so the
+  /// fault schedule never perturbs, and is never perturbed by, other
+  /// draws on the host.
+  FaultInjector(FaultConfig config, sim::Rng stream)
+      : config_(config), stream_(stream) {}
+
+  [[nodiscard]] bool enabled() const { return config_.enabled(); }
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Draws the injection decision for one arrival at an injection point.
+  /// Never draws (and always returns false) when the kind's rate is zero,
+  /// so disabled kinds leave the stream untouched.
+  bool roll(FaultKind kind, sim::SimTime now, const std::string& where);
+
+  [[nodiscard]] const std::vector<FaultRecord>& injected() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t count(FaultKind kind) const;
+  [[nodiscard]] std::uint64_t total_injected() const { return records_.size(); }
+
+  /// "kind@t:where;..." -- a compact schedule fingerprint for determinism
+  /// assertions across thread counts.
+  [[nodiscard]] std::string schedule_fingerprint() const;
+
+ private:
+  FaultConfig config_;
+  sim::Rng stream_;
+  std::vector<FaultRecord> records_;
+  std::array<std::uint64_t, static_cast<std::size_t>(FaultKind::kCount)>
+      counts_{};
+};
+
+}  // namespace rh::fault

@@ -120,24 +120,37 @@ void GuestOs::create_and_boot(std::function<void()> on_up) {
 
 void GuestOs::boot_sequence(std::function<void()> on_up) {
   trace("kernel booting");
+  // Injected boot hang: the kernel wedges before init (bad device handshake,
+  // a driver spinning on a lost interrupt). Nothing further is scheduled --
+  // the OS sits in kBooting until a watchdog force-powers it off.
+  if (host_->faults().roll(fault::FaultKind::kGuestBootHang,
+                           host_->sim().now(), "boot:" + name_)) {
+    trace("kernel boot HUNG (injected); only a power-off can recover");
+    return;
+  }
   // A fresh boot starts with a cold cache and a new kernel image layout.
   cache_.clear();
   const Calibration& calib = host_->calib();
-  host_->machine().cpu().run(calib.os_kernel_boot_cpu, [this, &calib,
+  const auto epoch = epoch_;
+  host_->machine().cpu().run(calib.os_kernel_boot_cpu, [this, &calib, epoch,
                                                        on_up = std::move(on_up)]() mutable {
+    if (epoch != epoch_) return;
     // Boot-time disk reads (kernel modules, init, service binaries) go
     // through the shared host disk -- the source of parallel-boot
     // contention.
     host_->machine().disk().read(
         calib.os_boot_io, hw::Disk::Access::kSequential,
-        [this, &calib, on_up = std::move(on_up)]() mutable {
-          host_->sim().after(host_->jittered(calib.os_userland_wait), [this,
+        [this, &calib, epoch, on_up = std::move(on_up)]() mutable {
+          if (epoch != epoch_) return;
+          host_->sim().after(host_->jittered(calib.os_userland_wait), [this, epoch,
                                                      on_up = std::move(on_up)]() mutable {
+            if (epoch != epoch_) return;
             // Stamp the integrity signature.
             signature_ = host_->rng().next() | 1;
             integrity_ok_ = true;
             mem_write(kSignaturePfn, signature_);
-            start_services_from(0, [this, on_up = std::move(on_up)] {
+            start_services_from(0, [this, epoch, on_up = std::move(on_up)] {
+              if (epoch != epoch_) return;
               state_ = OsState::kRunning;
               trace("up (" + std::to_string(services_.size()) + " services)");
               on_up();
@@ -176,20 +189,25 @@ void GuestOs::shutdown(std::function<void()> on_halted) {
   state_ = OsState::kShuttingDown;
   trace("shutting down");
   const Calibration& calib = host_->calib();
+  const auto epoch = epoch_;
   // Early shutdown scripts run before services are stopped; requests are
   // still answered during the grace phase (the OS is merely state-changed,
   // services remain up).
-  host_->sim().after(calib.os_shutdown_grace, [this, &calib,
+  host_->sim().after(calib.os_shutdown_grace, [this, &calib, epoch,
                                               on_halted = std::move(on_halted)]() mutable {
-  stop_services_from(0, [this, &calib, on_halted = std::move(on_halted)]() mutable {
-    host_->sim().after(host_->jittered(calib.os_shutdown_wait), [this, &calib,
+  if (epoch != epoch_) return;
+  stop_services_from(0, [this, &calib, epoch, on_halted = std::move(on_halted)]() mutable {
+    if (epoch != epoch_) return;
+    host_->sim().after(host_->jittered(calib.os_shutdown_wait), [this, &calib, epoch,
                                                on_halted = std::move(on_halted)]() mutable {
+      if (epoch != epoch_) return;
       host_->machine().cpu().run(
           calib.os_shutdown_cpu,
-          [this, &calib, on_halted = std::move(on_halted)]() mutable {
+          [this, &calib, epoch, on_halted = std::move(on_halted)]() mutable {
             host_->machine().disk().write(
                 calib.os_shutdown_io, hw::Disk::Access::kSequential,
-                [this, on_halted = std::move(on_halted)] {
+                [this, epoch, on_halted = std::move(on_halted)] {
+                  if (epoch != epoch_) return;
                   state_ = OsState::kHalted;
                   trace("halted");
                   // The VMM tears the halted domain down (xm destroy).
@@ -204,6 +222,19 @@ void GuestOs::shutdown(std::function<void()> on_halted) {
     });
   });
   });
+}
+
+void GuestOs::force_power_off() {
+  if (state_ == OsState::kHalted) return;
+  trace("forced power-off (state was " + std::string(to_string(state_)) + ")");
+  ++epoch_;
+  for (auto& s : services_) s->force_stop();
+  if (host_->vmm_running() && domain_id_ != kNoDomain &&
+      host_->vmm().find_domain(domain_id_) != nullptr) {
+    host_->vmm().destroy_domain(domain_id_);
+  }
+  domain_id_ = kNoDomain;
+  state_ = OsState::kHalted;
 }
 
 void GuestOs::on_suspend_event(std::function<void()> suspend_hypercall) {

@@ -93,6 +93,14 @@ class GuestOs : public vmm::GuestHooks, public GuestMemoryBacking {
   /// Graceful shutdown: stops services, halts, destroys the domain.
   void shutdown(std::function<void()> on_halted);
 
+  /// Pulls the virtual power cord: valid from any non-halted state, takes
+  /// zero simulated time, never calls back. Services are force-stopped,
+  /// in-flight boot/shutdown continuations are abandoned (epoch bump), and
+  /// the domain -- if it still exists -- is destroyed. This is the
+  /// supervisor's recovery hammer for hung boots, corrupted images and
+  /// crashed VMMs (where the domain is already gone).
+  void force_power_off();
+
   // ------------------------------------------------- VMM hooks (kernel)
   void on_suspend_event(std::function<void()> suspend_hypercall) override;
   void on_resume(DomainId new_id, std::function<void()> done) override;
@@ -114,6 +122,9 @@ class GuestOs : public vmm::GuestHooks, public GuestMemoryBacking {
   bool driver_domain_ = false;
   OsState state_ = OsState::kHalted;
   DomainId domain_id_ = kNoDomain;
+  /// Bumped by force_power_off(); boot/shutdown continuations capture the
+  /// epoch they were scheduled under and become no-ops if it moved on.
+  std::uint64_t epoch_ = 0;
   bool integrity_ok_ = true;
   hw::ContentToken signature_ = hw::kScrubbed;
   std::vector<std::unique_ptr<Service>> services_;

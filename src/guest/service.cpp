@@ -8,7 +8,11 @@ namespace rh::guest {
 void Service::start(GuestOs& os, std::function<void()> done) {
   ensure(static_cast<bool>(done), "Service::start: callback required");
   ensure(!running_, "Service::start: '" + spec_.name + "' already running");
-  auto finish = [this, &os, done = std::move(done)] {
+  auto finish = [this, &os, epoch = interrupt_epoch_, done = std::move(done)] {
+    // A force_stop() while we were starting means the VM lost power: the
+    // half-started process is gone, and the boot chain that requested the
+    // start was abandoned with it.
+    if (epoch != interrupt_epoch_) return;
     running_ = true;
     ++generation_;
     on_started(os);
@@ -24,6 +28,11 @@ void Service::start(GuestOs& os, std::function<void()> done) {
           finish();
         }
       });
+}
+
+void Service::force_stop() {
+  ++interrupt_epoch_;
+  running_ = false;
 }
 
 void Service::stop(GuestOs& os, std::function<void()> done) {

@@ -49,6 +49,11 @@ class Service {
   /// moment stop begins (it closes listening sockets first).
   void stop(GuestOs& os, std::function<void()> done);
 
+  /// Kills the service instantly (the VM lost power): no graceful close,
+  /// no stop wait, and any in-flight start() is abandoned -- its completion
+  /// callback never fires. Synchronous; safe to call in any state.
+  void force_stop();
+
  protected:
   /// Subclass hook invoked when the service finishes starting.
   virtual void on_started(GuestOs& os) { (void)os; }
@@ -57,6 +62,9 @@ class Service {
   Spec spec_;
   bool running_ = false;
   std::uint64_t generation_ = 0;
+  /// Bumped by force_stop(); in-flight start() completions from an older
+  /// epoch are stale and must not mark the service running.
+  std::uint64_t interrupt_epoch_ = 0;
 };
 
 }  // namespace rh::guest

@@ -6,11 +6,36 @@
 
 namespace rh::mm {
 
+std::uint64_t payload_checksum(const std::vector<std::byte>& payload) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (const std::byte b : payload) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
 void PreservedRegionRegistry::put(PreservedRegion region) {
   ensure(!region.name.empty(), "PreservedRegionRegistry: region needs a name");
+  region.checksum = payload_checksum(region.payload);
   const auto it = regions_.find(region.name);
   if (it == regions_.end()) order_.push_back(region.name);
   regions_[region.name] = std::move(region);
+}
+
+bool PreservedRegionRegistry::intact(const std::string& name) const {
+  const auto it = regions_.find(name);
+  ensure(it != regions_.end(), "PreservedRegionRegistry::intact: no such region");
+  return payload_checksum(it->second.payload) == it->second.checksum;
+}
+
+void PreservedRegionRegistry::corrupt_payload(const std::string& name) {
+  const auto it = regions_.find(name);
+  ensure(it != regions_.end(),
+         "PreservedRegionRegistry::corrupt_payload: no such region");
+  auto& payload = it->second.payload;
+  ensure(!payload.empty(), "PreservedRegionRegistry::corrupt_payload: empty payload");
+  payload[payload.size() / 2] ^= std::byte{0x01};
 }
 
 const PreservedRegion* PreservedRegionRegistry::find(const std::string& name) const {

@@ -29,15 +29,31 @@ struct PreservedRegion {
   std::string name;
   std::vector<std::byte> payload;
   std::vector<hw::FrameNumber> frozen_frames;
+  /// FNV-1a over the payload, stamped by the registry at put() time. A
+  /// reader that recomputes a different value is looking at a record that
+  /// rotted (or was tampered with) after it was preserved.
+  std::uint64_t checksum = 0;
 };
+
+/// FNV-1a over a payload; the checksum PreservedRegionRegistry stamps.
+[[nodiscard]] std::uint64_t payload_checksum(const std::vector<std::byte>& payload);
 
 class PreservedRegionRegistry {
  public:
-  /// Inserts or replaces a region by name.
+  /// Inserts or replaces a region by name, stamping its checksum.
   void put(PreservedRegion region);
 
   /// Looks up a region; nullptr if absent.
   [[nodiscard]] const PreservedRegion* find(const std::string& name) const;
+
+  /// Whether the region's payload still matches its stamped checksum.
+  /// Precondition: the region exists.
+  [[nodiscard]] bool intact(const std::string& name) const;
+
+  /// Flips one payload byte *without* restamping the checksum -- bit-rot
+  /// in RAM, as injected by fault::FaultKind::kCorruptPreservedImage.
+  /// Precondition: the region exists and has a non-empty payload.
+  void corrupt_payload(const std::string& name);
 
   /// Removes a region; returns true if it existed.
   bool erase(const std::string& name);

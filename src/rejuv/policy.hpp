@@ -27,8 +27,16 @@ class RejuvenationPolicy {
     /// not contend with each other (matches the paper's measurement of
     /// one-VM-at-a-time OS rejuvenation).
     sim::Duration os_stagger = sim::kHour;
-    /// Retry delay when a rejuvenation must wait for another in progress.
+    /// Base retry delay when a rejuvenation must wait for another in
+    /// progress. Consecutive deferrals of the same rejuvenation back off
+    /// exponentially: the k-th retry waits min(retry_delay_cap,
+    /// retry_delay * 2^k), times a jitter factor in [1-j, 1+j]. The first
+    /// retry always waits exactly retry_delay, and retry_jitter == 0
+    /// draws nothing from the host RNG, so existing seeds reproduce
+    /// their pre-backoff schedules exactly.
     sim::Duration retry_delay = 10 * sim::kMinute;
+    sim::Duration retry_delay_cap = 80 * sim::kMinute;
+    double retry_jitter = 0.0;
     /// If > 0, rejuvenate the VMM early when heap pressure reaches this
     /// fraction (checked every heap_check_interval).
     double heap_pressure_threshold = 0.0;
@@ -49,6 +57,9 @@ class RejuvenationPolicy {
     bool is_vmm = false;      ///< false: OS rejuvenation
     std::size_t guest = 0;    ///< index, for OS rejuvenations
     bool heap_triggered = false;
+    /// Times this rejuvenation was deferred (busy peer, load) before it
+    /// finally ran; each deferral waited one backoff step.
+    std::uint64_t deferrals = 0;
   };
 
   RejuvenationPolicy(vmm::Host& host, std::vector<guest::GuestOs*> guests,
@@ -72,11 +83,17 @@ class RejuvenationPolicy {
   void schedule_vmm(sim::SimTime when);
   void run_vmm_rejuvenation(bool heap_triggered);
   void check_heap();
+  /// Delay before the (k+1)-th consecutive retry of the same rejuvenation.
+  [[nodiscard]] sim::Duration retry_backoff(std::uint64_t k);
 
   vmm::Host& host_;
   std::vector<guest::GuestOs*> guests_;
   Config config_;
   std::vector<sim::EventId> os_timers_;
+  /// Consecutive deferrals of each guest's pending OS rejuvenation (reset
+  /// when it runs); drives the exponential backoff and the Event record.
+  std::vector<std::uint64_t> os_deferrals_;
+  std::uint64_t vmm_deferrals_ = 0;
   sim::EventId vmm_timer_ = sim::kInvalidEventId;
   std::unique_ptr<RebootDriver> active_driver_;
   bool vmm_busy_ = false;

@@ -1,0 +1,418 @@
+#include "rejuv/supervisor.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "simcore/check.hpp"
+
+namespace rh::rejuv {
+
+const char* to_string(RecoveryAction a) {
+  switch (a) {
+    case RecoveryAction::kStepRetry: return "step-retry";
+    case RecoveryAction::kWatchdogPowerOff: return "watchdog-power-off";
+    case RecoveryAction::kFallbackToSaved: return "fallback-to-saved";
+    case RecoveryAction::kFallbackToCold: return "fallback-to-cold";
+    case RecoveryAction::kColdBootSingleVm: return "cold-boot-single-vm";
+    case RecoveryAction::kHardwareRebootAfterCrash:
+      return "hardware-reboot-after-crash";
+    case RecoveryAction::kGaveUp: return "gave-up";
+  }
+  return "unknown";
+}
+
+std::size_t SupervisorReport::recovery_count(RecoveryAction a) const {
+  std::size_t n = 0;
+  for (const auto& r : recoveries) {
+    if (r.action == a) ++n;
+  }
+  return n;
+}
+
+Supervisor::Supervisor(vmm::Host& host, std::vector<guest::GuestOs*> guests,
+                       SupervisorConfig config)
+    : host_(host), guests_(std::move(guests)), config_(config) {
+  ensure(config_.max_step_retries >= 0, "Supervisor: negative retry count");
+  ensure(config_.backoff_base > 0 && config_.backoff_cap >= config_.backoff_base,
+         "Supervisor: backoff cap must be >= base > 0");
+  ensure(config_.boot_watchdog > 0, "Supervisor: watchdog must be positive");
+  for (const auto* g : guests_) ensure(g != nullptr, "Supervisor: null guest");
+}
+
+void Supervisor::trace(const std::string& msg) {
+  host_.tracer().emit(host_.sim().now(), "supervisor", msg);
+}
+
+void Supervisor::record(RecoveryAction action, const std::string& subject,
+                        const std::string& detail) {
+  report_.recoveries.push_back({action, host_.sim().now(), subject, detail});
+  trace(std::string(to_string(action)) + " [" + subject + "]: " + detail);
+}
+
+sim::Duration Supervisor::backoff(int attempt) {
+  double d = static_cast<double>(config_.backoff_base) *
+             std::ldexp(1.0, attempt);
+  d = std::min(d, static_cast<double>(config_.backoff_cap));
+  if (config_.backoff_jitter > 0.0) {
+    const double u = host_.rng().uniform01();
+    d *= 1.0 + config_.backoff_jitter * (2.0 * u - 1.0);
+  }
+  return std::max<sim::Duration>(1, static_cast<sim::Duration>(d));
+}
+
+Supervisor::GuestList Supervisor::suspendable_guests() const {
+  GuestList out;
+  for (auto* g : guests_) {
+    if (!g->driver_domain()) out.push_back(g);
+  }
+  return out;
+}
+
+Supervisor::GuestList Supervisor::driver_domain_guests() const {
+  GuestList out;
+  for (auto* g : guests_) {
+    if (g->driver_domain()) out.push_back(g);
+  }
+  return out;
+}
+
+void Supervisor::for_each_parallel(
+    const GuestList& guests,
+    const std::function<void(guest::GuestOs&, std::function<void()>)>& fn,
+    std::function<void()> done) {
+  if (guests.empty()) {
+    host_.sim().after(0, std::move(done));
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(guests.size());
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (auto* g : guests) {
+    fn(*g, [remaining, shared_done] {
+      if (--*remaining == 0) (*shared_done)();
+    });
+  }
+}
+
+void Supervisor::run(std::function<void(const SupervisorReport&)> done) {
+  ensure(static_cast<bool>(done), "Supervisor::run: callback required");
+  ensure(!started_, "Supervisor::run: supervisors are one-shot");
+  ensure(host_.up(), "Supervisor::run: host is not up");
+  started_ = true;
+  done_ = std::move(done);
+  report_.attempted = config_.preferred;
+  report_.started_at = host_.sim().now();
+  trace(std::string("begin supervised ") + to_string(config_.preferred));
+
+  // Aging can win the race against the rejuvenation timer: the VMM dies
+  // right as (or before) the pass begins, taking every domain with it.
+  // This is the quiescent point -- no mechanism is mid-flight -- so the
+  // crash tears down state without leaving dangling continuations.
+  if (host_.faults().roll(fault::FaultKind::kVmmCrash, host_.sim().now(),
+                          "pre-rejuvenation")) {
+    handle_vmm_crash();
+    return;
+  }
+
+  switch (config_.preferred) {
+    case RebootKind::kWarm: start_warm(); return;
+    case RebootKind::kSaved: start_saved(); return;
+    case RebootKind::kCold: start_cold(); return;
+  }
+  throw InvariantViolation("Supervisor::run: bad reboot kind");
+}
+
+void Supervisor::recover(std::function<void(const SupervisorReport&)> done) {
+  ensure(static_cast<bool>(done), "Supervisor::recover: callback required");
+  ensure(!started_, "Supervisor::recover: supervisors are one-shot");
+  ensure(host_.up(), "Supervisor::recover: host is not up");
+  started_ = true;
+  done_ = std::move(done);
+  report_.attempted = config_.preferred;
+  report_.started_at = host_.sim().now();
+  GuestList halted;
+  for (auto* g : guests_) {
+    if (g->state() == guest::OsState::kHalted) halted.push_back(g);
+  }
+  trace("begin recovery of " + std::to_string(halted.size()) +
+        " halted guest(s)");
+  boot_cold(halted, [this] { finish(config_.preferred); });
+}
+
+// ------------------------------------------------------------- VMM crash
+
+void Supervisor::handle_vmm_crash() {
+  report_.vmm_crashed = true;
+  host_.crash_vmm();
+  // Every domain died with the hypervisor; the guest objects must observe
+  // that before they can be cold-booted.
+  for (auto* g : guests_) g->force_power_off();
+  record(RecoveryAction::kHardwareRebootAfterCrash, "vmm",
+         "VMM crashed before rejuvenation could run; hardware reboot and "
+         "cold boot of every VM");
+  host_.hardware_reboot([this] {
+    boot_cold(guests_, [this] { finish(RebootKind::kCold); });
+  });
+}
+
+// ------------------------------------------------------------------ warm
+
+void Supervisor::start_warm() { attempt_xexec(0); }
+
+void Supervisor::attempt_xexec(int attempt) {
+  host_.vmm().xexec_load([this, attempt] {
+    if (host_.vmm().xexec_loaded()) {
+      warm_after_xexec();
+      return;
+    }
+    if (attempt < config_.max_step_retries) {
+      record(RecoveryAction::kStepRetry, "xexec",
+             "image load failed (attempt " + std::to_string(attempt + 1) +
+                 "); retrying after backoff");
+      host_.sim().after(backoff(attempt),
+                        [this, attempt] { attempt_xexec(attempt + 1); });
+      return;
+    }
+    // Nothing has been disturbed yet -- every guest still answers -- so
+    // degrading to the saved-VM reboot is a clean restart of the ladder.
+    record(RecoveryAction::kFallbackToSaved, "xexec",
+           "image load failed " + std::to_string(attempt + 1) +
+               " times; degrading to saved-VM reboot");
+    start_saved();
+  });
+}
+
+void Supervisor::warm_after_xexec() {
+  auto after_drivers = [this] {
+    if (host_.calib().suspend_by_vmm_after_dom0_shutdown) {
+      host_.shutdown_dom0([this] {
+        host_.vmm().suspend_all_on_memory([this] {
+          host_.quick_reload([this] { warm_resume_phase(); });
+        });
+      });
+    } else {
+      host_.vmm().suspend_all_on_memory([this] {
+        host_.shutdown_dom0([this] {
+          host_.quick_reload([this] { warm_resume_phase(); });
+        });
+      });
+    }
+  };
+  const GuestList drivers = driver_domain_guests();
+  if (drivers.empty()) {
+    after_drivers();
+    return;
+  }
+  for_each_parallel(
+      drivers,
+      [](guest::GuestOs& g, std::function<void()> guest_done) {
+        g.shutdown(std::move(guest_done));
+      },
+      std::move(after_drivers));
+}
+
+void Supervisor::discard_preserved_image(const std::string& guest_name) {
+  const std::string region_name =
+      std::string(vmm::Vmm::kRegionPrefix) + guest_name;
+  if (const auto* region = host_.preserved().find(region_name)) {
+    // The incoming VMM re-reserved the image's frozen frames; give them
+    // back so the replacement cold boot can use the memory.
+    auto& alloc = host_.vmm().allocator();
+    for (const auto mfn : region->frozen_frames) {
+      if (alloc.owner_of(mfn) == kVmmOwner) alloc.release(mfn);
+    }
+  }
+  host_.preserved().erase(region_name);
+}
+
+void Supervisor::warm_resume_phase() {
+  // Verify every preserved image before resuming anything: a checksum
+  // mismatch means that VM's image rotted in RAM, and resuming it would
+  // hand the guest corrupted state. The ladder for that VM alone is a
+  // fresh cold boot; its siblings still get the fast on-memory resume.
+  GuestList intact;
+  GuestList corrupt;
+  for (auto* g : suspendable_guests()) {
+    if (host_.vmm().preserved_image_intact(g->name())) {
+      intact.push_back(g);
+    } else {
+      corrupt.push_back(g);
+    }
+  }
+  for (auto* g : corrupt) {
+    record(RecoveryAction::kColdBootSingleVm, g->name(),
+           "preserved image failed its checksum; cold-booting this VM only");
+    discard_preserved_image(g->name());
+    g->force_power_off();
+  }
+  const int count = static_cast<int>(intact.size());
+  for_each_parallel(
+      intact,
+      [this](guest::GuestOs& g, std::function<void()> guest_done) {
+        host_.vmm().resume_domain_on_memory(
+            g.name(), &g,
+            [guest_done = std::move(guest_done)](DomainId) { guest_done(); });
+      },
+      [this, count, corrupt] {
+        host_.note_simultaneous_creations(count);
+        report_.resumed_vms = static_cast<std::size_t>(count);
+        GuestList to_boot = corrupt;
+        const GuestList drivers = driver_domain_guests();
+        to_boot.insert(to_boot.end(), drivers.begin(), drivers.end());
+        boot_cold(to_boot, [this] { finish(RebootKind::kWarm); });
+      });
+}
+
+// ----------------------------------------------------------------- saved
+
+void Supervisor::start_saved() {
+  // Reached either as the preferred mechanism or as the fallback from a
+  // failed warm attempt; in both cases every guest is still running.
+  for_each_parallel(
+      suspendable_guests(),
+      [this](guest::GuestOs& g, std::function<void()> guest_done) {
+        host_.vmm().save_domain_to_disk(
+            g.domain_id(), host_.images(),
+            [this, &g, guest_done = std::move(guest_done)] {
+              if (host_.images().find(g.name()) == nullptr) {
+                // The write failed after the domain was torn down: the
+                // VM's state is gone. Next rung: cold boot that VM.
+                record(RecoveryAction::kFallbackToCold, g.name(),
+                       "saved image lost to a disk write error; VM will "
+                       "cold boot");
+                g.force_power_off();
+                cold_list_.push_back(&g);
+              }
+              guest_done();
+            });
+      },
+      [this] {
+        for_each_parallel(
+            driver_domain_guests(),
+            [](guest::GuestOs& g, std::function<void()> guest_done) {
+              g.shutdown(std::move(guest_done));
+            },
+            [this] {
+              host_.shutdown_dom0([this] {
+                host_.hardware_reboot([this] { saved_restore_phase(); });
+              });
+            });
+      });
+}
+
+void Supervisor::saved_restore_phase() {
+  GuestList to_restore;
+  for (auto* g : suspendable_guests()) {
+    if (host_.images().find(g->name()) != nullptr) to_restore.push_back(g);
+  }
+  for_each_parallel(
+      to_restore,
+      [this](guest::GuestOs& g, std::function<void()> guest_done) {
+        host_.vmm().restore_domain_from_disk(
+            g.name(), host_.images(), &g,
+            [this, &g, guest_done = std::move(guest_done)](DomainId id) {
+              if (id == kNoDomain) {
+                record(RecoveryAction::kFallbackToCold, g.name(),
+                       "restore failed with a disk read error; VM will "
+                       "cold boot");
+                g.force_power_off();
+                cold_list_.push_back(&g);
+              } else {
+                ++report_.restored_vms;
+              }
+              guest_done();
+            });
+      },
+      [this] {
+        GuestList to_boot = cold_list_;
+        const GuestList drivers = driver_domain_guests();
+        to_boot.insert(to_boot.end(), drivers.begin(), drivers.end());
+        boot_cold(to_boot, [this] { finish(RebootKind::kSaved); });
+      });
+}
+
+// ------------------------------------------------------------------ cold
+
+void Supervisor::start_cold() {
+  for_each_parallel(
+      guests_,
+      [](guest::GuestOs& g, std::function<void()> guest_done) {
+        g.shutdown(std::move(guest_done));
+      },
+      [this] {
+        host_.shutdown_dom0([this] {
+          host_.hardware_reboot([this] {
+            boot_cold(guests_, [this] { finish(RebootKind::kCold); });
+          });
+        });
+      });
+}
+
+// --------------------------------------------------- supervised booting
+
+void Supervisor::supervised_boot(guest::GuestOs& g, int attempt,
+                                 std::function<void(bool)> done) {
+  auto settled = std::make_shared<bool>(false);
+  auto shared_done =
+      std::make_shared<std::function<void(bool)>>(std::move(done));
+  const sim::EventId watchdog = host_.sim().after(
+      config_.boot_watchdog, [this, &g, attempt, settled, shared_done] {
+        if (*settled) return;
+        *settled = true;
+        record(RecoveryAction::kWatchdogPowerOff, g.name(),
+               "boot hung past the watchdog (attempt " +
+                   std::to_string(attempt + 1) + "); forced power-off");
+        g.force_power_off();
+        if (attempt < config_.max_step_retries) {
+          host_.sim().after(backoff(attempt), [this, &g, attempt,
+                                               shared_done] {
+            supervised_boot(g, attempt + 1, std::move(*shared_done));
+          });
+          return;
+        }
+        record(RecoveryAction::kGaveUp, g.name(),
+               "boot hung " + std::to_string(attempt + 1) +
+                   " times; leaving the VM down");
+        report_.unrecovered_vms.push_back(g.name());
+        (*shared_done)(false);
+      });
+  g.create_and_boot([this, settled, watchdog, shared_done] {
+    if (*settled) return;
+    *settled = true;
+    host_.sim().cancel(watchdog);
+    (*shared_done)(true);
+  });
+}
+
+void Supervisor::boot_cold(const GuestList& guests,
+                           std::function<void()> done) {
+  for_each_parallel(
+      guests,
+      [this](guest::GuestOs& g, std::function<void()> guest_done) {
+        supervised_boot(g, 0, [this, guest_done = std::move(guest_done)](
+                                  bool ok) {
+          if (ok) ++report_.cold_booted_vms;
+          guest_done();
+        });
+      },
+      std::move(done));
+}
+
+// ---------------------------------------------------------------- finish
+
+void Supervisor::finish(RebootKind completed_kind) {
+  report_.completed = completed_kind;
+  report_.success = report_.unrecovered_vms.empty();
+  report_.finished_at = host_.sim().now();
+  completed_ = true;
+  trace(std::string("completed (") + to_string(completed_kind) + ", " +
+        (report_.success ? "all VMs recovered" :
+                           std::to_string(report_.unrecovered_vms.size()) +
+                               " VM(s) unrecovered") +
+        ", " + std::to_string(report_.recoveries.size()) + " recoveries, " +
+        std::to_string(sim::to_seconds(report_.total_duration())) + " s)");
+  auto done = std::move(done_);
+  done(report_);
+}
+
+}  // namespace rh::rejuv

@@ -1,0 +1,158 @@
+// Supervised rejuvenation: the recovery layer over the reboot drivers.
+//
+// The RebootDriver classes assume a cooperating world: xexec images load,
+// disks read back what was written, preserved images stay intact and
+// guests finish booting. The Supervisor assumes none of that. It runs the
+// same phases as the drivers but checks every postcondition, retries
+// failing steps with capped jittered exponential backoff, arms a watchdog
+// over every guest boot, and -- when a mechanism is beyond retry -- walks
+// a graceful-degradation ladder:
+//
+//   warm-VM reboot   --xexec load keeps failing-->   saved-VM reboot
+//   saved-VM reboot  --image lost/unreadable---->    cold boot (that VM)
+//   preserved image corrupt (checksum mismatch) -->  cold boot (that VM),
+//                                                    siblings still resume
+//   VMM crash (aging won the race) ------------->    hardware reboot +
+//                                                    cold boot of all VMs
+//
+// Every recovery decision is recorded as a typed RecoveryEvent so tests
+// (and the cluster layer) can assert the exact ladder taken, and so the
+// fault-rate sweeps can attribute availability loss to causes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rejuv/reboot_driver.hpp"
+
+namespace rh::rejuv {
+
+/// What the supervisor did to keep the pass alive.
+enum class RecoveryAction : std::uint8_t {
+  kStepRetry,              ///< a failing step was retried after backoff
+  kWatchdogPowerOff,       ///< a hung guest boot was forced off by the watchdog
+  kFallbackToSaved,        ///< warm path abandoned; saved-VM reboot instead
+  kFallbackToCold,         ///< saved image lost/unreadable; that VM cold boots
+  kColdBootSingleVm,       ///< corrupt preserved image; that VM cold boots
+  kHardwareRebootAfterCrash,  ///< VMM crashed; full reset + cold boots
+  kGaveUp,                 ///< retries exhausted; VM left unrecovered
+};
+
+[[nodiscard]] const char* to_string(RecoveryAction a);
+
+/// One recovery decision, for post-mortem accounting and assertions.
+struct RecoveryEvent {
+  RecoveryAction action = RecoveryAction::kStepRetry;
+  sim::SimTime at = 0;
+  std::string subject;  ///< step name or VM name
+  std::string detail;
+};
+
+struct SupervisorConfig {
+  /// The mechanism to attempt first; the ladder only descends from here.
+  RebootKind preferred = RebootKind::kWarm;
+  /// Retries per failing step (xexec load, guest boot) before degrading.
+  int max_step_retries = 2;
+  /// Backoff before retry k is min(cap, base * 2^k), times a jitter factor
+  /// in [1-j, 1+j]. jitter == 0 draws nothing from the host RNG.
+  sim::Duration backoff_base = 2 * sim::kSecond;
+  sim::Duration backoff_cap = 5 * sim::kMinute;
+  double backoff_jitter = 0.0;
+  /// A guest boot that has not completed after this long is declared hung
+  /// and force-powered off (kGuestBootHang never completes on its own).
+  sim::Duration boot_watchdog = 10 * sim::kMinute;
+};
+
+struct SupervisorReport {
+  RebootKind attempted = RebootKind::kWarm;
+  /// The mechanism that actually carried the pass to completion (kSaved
+  /// after a warm fallback; kCold after a VMM crash).
+  RebootKind completed = RebootKind::kWarm;
+  /// True iff every guest answers again (no VM left unrecovered).
+  bool success = false;
+  bool vmm_crashed = false;
+  sim::SimTime started_at = 0;
+  sim::SimTime finished_at = 0;
+  [[nodiscard]] sim::Duration total_duration() const {
+    return finished_at - started_at;
+  }
+  std::size_t resumed_vms = 0;   ///< on-memory resumes (state kept)
+  std::size_t restored_vms = 0;  ///< disk restores (state kept)
+  std::size_t cold_booted_vms = 0;  ///< boots from scratch (state lost)
+  std::vector<std::string> unrecovered_vms;
+  std::vector<RecoveryEvent> recoveries;
+
+  [[nodiscard]] std::size_t recovery_count(RecoveryAction a) const;
+};
+
+/// Runs one supervised rejuvenation pass over a host and its guests.
+/// One-shot, like the drivers it supersedes.
+class Supervisor {
+ public:
+  Supervisor(vmm::Host& host, std::vector<guest::GuestOs*> guests,
+             SupervisorConfig config);
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Runs the pass; `done` receives the report (which remains readable via
+  /// report() afterwards). Requires the host to be up.
+  void run(std::function<void(const SupervisorReport&)> done);
+
+  /// Recovery-only entry point (mutually exclusive with run(), same
+  /// one-shot rule): boots every guest currently halted, each under the
+  /// boot watchdog, without disturbing running guests. The cluster layer
+  /// uses this to retry a host whose earlier pass left VMs unrecovered.
+  void recover(std::function<void(const SupervisorReport&)> done);
+
+  [[nodiscard]] const SupervisorReport& report() const { return report_; }
+  [[nodiscard]] bool completed() const { return completed_; }
+
+ private:
+  using GuestList = std::vector<guest::GuestOs*>;
+
+  // ---- phase drivers (one per rung of the ladder)
+  void handle_vmm_crash();
+  void start_warm();
+  void attempt_xexec(int attempt);
+  void warm_after_xexec();
+  void warm_resume_phase();
+  void start_saved();
+  void saved_restore_phase();
+  void start_cold();
+  void finish(RebootKind completed_kind);
+
+  // ---- supervised building blocks
+  /// Boots one guest under a watchdog; retries hung boots with backoff.
+  /// `done(false)` means retries were exhausted (VM left unrecovered).
+  void supervised_boot(guest::GuestOs& g, int attempt,
+                       std::function<void(bool)> done);
+  /// Boots a list in parallel (each under its own watchdog); successful
+  /// boots are counted as cold-booted VMs.
+  void boot_cold(const GuestList& guests, std::function<void()> done);
+  /// Drops a corrupt preserved image: frees the frozen frames the new VMM
+  /// re-reserved for it and erases the registry record.
+  void discard_preserved_image(const std::string& guest_name);
+
+  void for_each_parallel(
+      const GuestList& guests,
+      const std::function<void(guest::GuestOs&, std::function<void()>)>& fn,
+      std::function<void()> done);
+  [[nodiscard]] GuestList suspendable_guests() const;
+  [[nodiscard]] GuestList driver_domain_guests() const;
+  [[nodiscard]] sim::Duration backoff(int attempt);
+  void record(RecoveryAction action, const std::string& subject,
+              const std::string& detail);
+  void trace(const std::string& msg);
+
+  vmm::Host& host_;
+  GuestList guests_;
+  SupervisorConfig config_;
+  std::function<void(const SupervisorReport&)> done_;
+  SupervisorReport report_;
+  GuestList cold_list_;  ///< accumulated per-VM degradations this pass
+  bool started_ = false;
+  bool completed_ = false;
+};
+
+}  // namespace rh::rejuv

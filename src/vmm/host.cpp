@@ -30,7 +30,29 @@ Vmm& Host::vmm() {
 std::unique_ptr<Vmm> Host::new_vmm(BootMode mode) {
   ++vmm_generation_;
   return std::make_unique<Vmm>(sim_, calib_, machine_, preserved_, xenstore_,
-                               tracer_, rng_, mode);
+                               tracer_, rng_, faults_, mode);
+}
+
+void Host::configure_faults(const fault::FaultConfig& config) {
+  if (!config.enabled()) {
+    // Keep the injector disarmed without splitting the RNG: a host that
+    // never enables faults draws exactly the same sequence as before this
+    // feature existed.
+    faults_ = fault::FaultInjector();
+    return;
+  }
+  faults_ = fault::FaultInjector(config, rng_.split());
+  tracer_.emit(sim_.now(), "host", "fault injection armed");
+}
+
+void Host::crash_vmm() {
+  ensure(vmm_ != nullptr, "crash_vmm: no VMM instance to crash");
+  tracer_.emit(sim_.now(), "host", "VMM CRASHED (injected): all domains lost");
+  vmm_.reset();
+  dom0_state_ = Dom0State::kDown;
+  // The crash scribbles over RAM on the way down (no orderly handover), so
+  // nothing recorded in the preserved-region registry can be trusted.
+  preserved_.clear();
 }
 
 void Host::restart_daemons() {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "hw/machine.hpp"
 #include "mm/preserved_registry.hpp"
 #include "net/network.hpp"
@@ -40,6 +41,15 @@ class Host {
   [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] net::Link& link() { return link_; }
+  [[nodiscard]] fault::FaultInjector& faults() { return faults_; }
+
+  /// Arms fault injection for this host: the injector is rebuilt over a
+  /// dedicated RNG substream (one split of the host RNG), so the fault
+  /// schedule depends only on the host seed and the configured rates --
+  /// never on thread count or unrelated timing draws. Calling this with a
+  /// config whose rates are all zero keeps the injector disarmed without
+  /// splitting the RNG, so default-path runs stay byte-identical.
+  void configure_faults(const fault::FaultConfig& config);
 
   /// The running VMM instance. Precondition: vmm_running().
   [[nodiscard]] Vmm& vmm();
@@ -78,6 +88,14 @@ class Host {
   /// Full hardware reboot: power cycle (RAM and registry destroyed), POST,
   /// boot loader, fresh VMM, dom0.
   void hardware_reboot(std::function<void()> on_up);
+
+  /// Sudden VMM crash (injected aging failure before the rejuvenation
+  /// timer fires): the hypervisor instance dies on the spot, taking every
+  /// domain -- and dom0's userland -- with it. RAM contents are garbage
+  /// afterwards, so the preserved-region registry is cleared too; only a
+  /// hardware_reboot() and cold boots can bring the host back. Guests must
+  /// be force-powered-off by the caller (their domains no longer exist).
+  void crash_vmm();
 
   /// EXTENSION (the paper's stated future work): reboot *only* domain 0's
   /// userland, without rebooting the VMM or touching the domain Us. The
@@ -140,6 +158,7 @@ class Host {
   ImageStore images_;
   XenStore xenstore_;
   net::Link link_;
+  fault::FaultInjector faults_;
   std::unique_ptr<Vmm> vmm_;
   Dom0State dom0_state_ = Dom0State::kDown;
   sim::SimTime vmm_ready_at_ = 0;

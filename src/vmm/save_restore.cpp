@@ -58,6 +58,17 @@ void Vmm::save_domain_to_disk(DomainId id, ImageStore& store,
       machine_.cpu().run(compress_cpu, [this, id, &store, dev = &device,
                                         service, done] {
       dev->occupy(service, [this, id, &store, done] {
+        // An injected write error loses the image partway through: the
+        // domain was already quiesced and torn down, but no usable save
+        // file exists. The caller must check the store before restoring.
+        if (faults_.roll(fault::FaultKind::kDiskWriteError, sim_.now(),
+                         "save:" + domain(id).name())) {
+          trace("domain '" + domain(id).name() +
+                "' save FAILED: disk write error (injected)");
+          destroy_domain(id);
+          done();
+          return;
+        }
         store.put(capture_image(id));
         trace("domain '" + domain(id).name() + "' image written to disk");
         destroy_domain(id);
@@ -99,6 +110,18 @@ void Vmm::restore_domain_from_disk(const std::string& name, ImageStore& store,
     const auto service = calib_.xen_restore_prep + decompress_cpu +
                          sim::transfer_time(image_bytes, read_rate);
     device.occupy(service, [this, id, name, &store, hooks, done] {
+      // An injected read error means the save file is unreadable: tear the
+      // half-built domain back down, drop the dead image, and report
+      // failure via kNoDomain so a supervisor can fall back to cold boot.
+      if (faults_.roll(fault::FaultKind::kDiskReadError, sim_.now(),
+                       "restore:" + name)) {
+        trace("domain '" + name +
+              "' restore FAILED: disk read error (injected)");
+        destroy_domain(id);
+        store.erase(name);
+        done(kNoDomain);
+        return;
+      }
       const SavedImage* img = store.find(name);
       ensure(img != nullptr, "restore: saved image vanished mid-restore");
       apply_image(id, *img);

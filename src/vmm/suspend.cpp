@@ -75,7 +75,18 @@ void Vmm::suspend_domain_on_memory(DomainId id, std::function<void()> done) {
         region.name = std::string(kRegionPrefix) + d.name();
         region.payload = w.take();
         region.frozen_frames = d.p2m().mapped_frames();
+        const std::string region_name = region.name;
         preserved_.put(std::move(region));
+        // Bit-rot injection: the image is recorded but a payload byte flips
+        // in RAM before anyone reads it back. The stamped checksum still
+        // reflects the original bytes, so resume-time verification catches
+        // it (preserved_image_intact() goes false).
+        if (faults_.roll(fault::FaultKind::kCorruptPreservedImage, sim_.now(),
+                         "suspend:" + d.name())) {
+          preserved_.corrupt_payload(region_name);
+          trace("domain '" + d.name() +
+                "' preserved image corrupted in RAM (injected)");
+        }
 
         d.set_state(DomainState::kSuspendedInMemory);
         trace("domain '" + d.name() + "' suspended on-memory (" +
@@ -107,6 +118,10 @@ void Vmm::suspend_all_on_memory(std::function<void()> done) {
   }
 }
 
+bool Vmm::preserved_image_intact(const std::string& name) const {
+  return preserved_.intact(std::string(kRegionPrefix) + name);
+}
+
 std::vector<std::string> Vmm::preserved_domain_names() const {
   std::vector<std::string> out;
   const std::string prefix = kRegionPrefix;
@@ -131,6 +146,10 @@ void Vmm::resume_domain_on_memory(const std::string& name, GuestHooks* hooks,
       [this, name, region_name, hooks, done = std::move(done)] {
         const auto* region = preserved_.find(region_name);
         ensure(region != nullptr, "resume: preserved image vanished");
+        ensure(mm::payload_checksum(region->payload) == region->checksum,
+               "resume: preserved image for domain '" + name +
+                   "' failed its checksum (corrupted in RAM); a supervisor "
+                   "must check preserved_image_intact() and cold-boot instead");
         PreservedDomainRecord rec = parse_record(*region);
 
         // Resuming within the same VMM instance (no reload in between):

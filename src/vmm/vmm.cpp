@@ -17,7 +17,8 @@ void XendQueue::enqueue(sim::Duration d, sim::InlineCallback done) {
 
 Vmm::Vmm(sim::Simulation& sim, const Calibration& calib, hw::Machine& machine,
          mm::PreservedRegionRegistry& preserved, XenStore& xenstore,
-         sim::Tracer& tracer, sim::Rng& rng, BootMode mode)
+         sim::Tracer& tracer, sim::Rng& rng, fault::FaultInjector& faults,
+         BootMode mode)
     : sim_(sim),
       calib_(calib),
       machine_(machine),
@@ -25,6 +26,7 @@ Vmm::Vmm(sim::Simulation& sim, const Calibration& calib, hw::Machine& machine,
       xenstore_(xenstore),
       tracer_(tracer),
       rng_(rng),
+      faults_(faults),
       mode_(mode),
       allocator_(machine.memory().frame_count()),
       heap_(calib.vmm_heap_size),

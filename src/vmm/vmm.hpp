@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "hw/machine.hpp"
 #include "mm/frame_allocator.hpp"
 #include "mm/preserved_registry.hpp"
@@ -61,7 +62,8 @@ class Vmm {
 
   Vmm(sim::Simulation& sim, const Calibration& calib, hw::Machine& machine,
       mm::PreservedRegionRegistry& preserved, XenStore& xenstore,
-      sim::Tracer& tracer, sim::Rng& rng, BootMode mode);
+      sim::Tracer& tracer, sim::Rng& rng, fault::FaultInjector& faults,
+      BootMode mode);
 
   Vmm(const Vmm&) = delete;
   Vmm& operator=(const Vmm&) = delete;
@@ -123,6 +125,12 @@ class Vmm {
   /// Names of domains with preserved in-memory images.
   [[nodiscard]] std::vector<std::string> preserved_domain_names() const;
 
+  /// Whether the named domain's preserved image still passes its checksum.
+  /// The supervised resume path verifies this before resuming; a mismatch
+  /// means the image rotted in RAM and only a cold boot can recover the VM.
+  /// Precondition: a preserved image for `name` exists.
+  [[nodiscard]] bool preserved_image_intact(const std::string& name) const;
+
   /// Resumes a previously on-memory-suspended domain in this VMM instance:
   /// re-creates the domain (serialised through xend), re-attaches the
   /// preserved frames recorded in the P2M table, restores execution state,
@@ -158,6 +166,9 @@ class Vmm {
 
   /// Loads a new VMM executable image (VMM + dom0 kernel + initrd) into
   /// memory via the xexec hypercall. Must be done before quick reload.
+  /// Under fault injection the load can fail: `done` still fires (the
+  /// time was spent) but xexec_loaded() stays false -- callers that care
+  /// must check the postcondition, as rejuv::Supervisor does.
   void xexec_load(std::function<void()> done);
 
   [[nodiscard]] bool xexec_loaded() const { return xexec_loaded_; }
@@ -186,6 +197,7 @@ class Vmm {
   [[nodiscard]] mm::PreservedRegionRegistry& preserved() { return preserved_; }
   [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] fault::FaultInjector& faults() { return faults_; }
 
  private:
   friend class SuspendMechanism;
@@ -218,6 +230,7 @@ class Vmm {
   XenStore& xenstore_;
   sim::Tracer& tracer_;
   sim::Rng& rng_;
+  fault::FaultInjector& faults_;
   BootMode mode_;
 
   mm::FrameAllocator allocator_;

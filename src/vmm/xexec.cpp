@@ -19,6 +19,17 @@ void Vmm::xexec_load(std::function<void()> done) {
   machine_.disk().read(calib_.xexec_image_size, hw::Disk::Access::kSequential,
                        [this, done = std::move(done)] {
                          sim_.after(calib_.xexec_hypercall, [this, done] {
+                           // The hypercall can reject the image (bad read,
+                           // version check): the time is spent, but the
+                           // caller must check xexec_loaded() before
+                           // relying on the quick-reload path.
+                           if (faults_.roll(fault::FaultKind::kXexecLoadFailure,
+                                            sim_.now(), "xexec_load")) {
+                             xexec_loaded_ = false;
+                             trace("xexec: image load FAILED (injected)");
+                             done();
+                             return;
+                           }
                            xexec_loaded_ = true;
                            trace("xexec: new VMM image loaded");
                            done();

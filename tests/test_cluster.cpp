@@ -54,11 +54,19 @@ TEST(ClusterModel, Validation) {
 // ------------------------------------------------------------------ DES
 
 struct ClusterRig {
+  static cluster::Cluster::Config config(int hosts, int vms) {
+    cluster::Cluster::Config c;
+    c.hosts = hosts;
+    c.vms_per_host = vms;
+    c.files_per_vm = 20;
+    return c;
+  }
+
   sim::Simulation sim;
   cluster::Cluster cl;
 
   explicit ClusterRig(int hosts = 2, int vms = 2)
-      : cl(sim, {hosts, vms, sim::kGiB, 20, 512 * sim::kKiB, {}}) {
+      : cl(sim, config(hosts, vms)) {
     bool ready = false;
     cl.start([&ready] { ready = true; });
     while (!ready && sim.pending_events() > 0) sim.step();
@@ -135,6 +143,136 @@ TEST(Cluster, GuestsOfValidatesIndex) {
   EXPECT_THROW((void)rig.cl.host(5), InvariantViolation);
   EXPECT_THROW((void)rig.cl.guest(0, 9), InvariantViolation);
   EXPECT_EQ(rig.cl.guests_of(0).size(), std::size_t{2});
+}
+
+TEST(Cluster, OverlappingRollingPassesAreRejected) {
+  // A second rolling pass while one is in flight would silently drop the
+  // first pass's driver mid-reboot; it must fail fast instead.
+  ClusterRig rig;
+  bool done = false;
+  rig.cl.rolling_rejuvenation(rejuv::RebootKind::kWarm, [&done] { done = true; });
+  EXPECT_TRUE(rig.cl.rolling_in_progress());
+  EXPECT_THROW(
+      rig.cl.rolling_rejuvenation(rejuv::RebootKind::kWarm, [] {}),
+      InvariantViolation);
+  EXPECT_THROW(rig.cl.rolling_rejuvenation_supervised({}, [](auto&) {}),
+               InvariantViolation);
+  while (!done) rig.sim.step();
+  EXPECT_FALSE(rig.cl.rolling_in_progress());
+  // Once the pass finished, a new one is welcome again.
+  bool again = false;
+  rig.cl.rolling_rejuvenation(rejuv::RebootKind::kWarm, [&again] { again = true; });
+  while (!again) rig.sim.step();
+  EXPECT_TRUE(again);
+}
+
+TEST(Cluster, SupervisedRollingPassIsCleanWithoutFaults) {
+  ClusterRig rig;
+  bool done = false;
+  cluster::Cluster::RollingReport report;
+  rig.cl.rolling_rejuvenation_supervised(
+      {}, [&](const cluster::Cluster::RollingReport& r) {
+        report = r;
+        done = true;
+      });
+  while (!done) rig.sim.step();
+  EXPECT_TRUE(report.fully_recovered());
+  ASSERT_EQ(report.passes.size(), std::size_t{2});  // one per host, no retries
+  for (const auto& pass : report.passes) {
+    EXPECT_TRUE(pass.success);
+    EXPECT_EQ(pass.resumed_vms, std::size_t{2});
+  }
+  EXPECT_TRUE(report.evicted_hosts.empty());
+  EXPECT_EQ(rig.cl.balancer().evicted_backends(), std::size_t{0});
+  EXPECT_EQ(rig.cl.balancer().reachable_backends(), std::size_t{4});
+}
+
+TEST(Cluster, SupervisedRollingEvictsFailedHostAndRetriesIt) {
+  ClusterRig rig;
+  // Host 1's boots will hang forever (until the operator intervenes).
+  fault::FaultConfig faults;
+  faults.boot_hang_rate = 1.0;
+  rig.cl.host(1).configure_faults(faults);
+
+  cluster::Cluster::SupervisionConfig cfg;
+  cfg.supervisor.preferred = rejuv::RebootKind::kCold;
+  cfg.supervisor.max_step_retries = 0;
+  bool done = false;
+  cluster::Cluster::RollingReport report;
+  rig.cl.rolling_rejuvenation_supervised(
+      cfg, [&](const cluster::Cluster::RollingReport& r) {
+        report = r;
+        done = true;
+      });
+  // Step until host 1's ladder exhausts and it is evicted mid-pass...
+  while (!done && rig.cl.balancer().evicted_backends() == 0) rig.sim.step();
+  ASSERT_FALSE(done);
+  EXPECT_EQ(rig.cl.balancer().evicted_backends(), std::size_t{2});
+  // ...the balancer keeps serving from host 0 in the meantime...
+  int served = 0;
+  for (int i = 0; i < 8; ++i) {
+    rig.cl.balancer().dispatch([&](bool ok) { served += ok ? 1 : 0; });
+  }
+  rig.sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(served, 8);
+  // ...then the root cause is fixed, and the end-of-pass retry succeeds.
+  rig.cl.host(1).configure_faults(fault::FaultConfig{});
+  while (!done) rig.sim.step();
+
+  EXPECT_TRUE(report.fully_recovered());
+  ASSERT_EQ(report.evicted_hosts, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(report.recovered_hosts, (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(report.failed_hosts.empty());
+  EXPECT_EQ(rig.cl.balancer().evicted_backends(), std::size_t{0});
+  EXPECT_EQ(rig.cl.balancer().reachable_backends(), std::size_t{4});
+  for (int v = 0; v < 2; ++v) {
+    EXPECT_EQ(rig.cl.guest(1, v).state(), guest::OsState::kRunning);
+  }
+}
+
+TEST(Cluster, SupervisedRollingGivesUpAfterHostRetryBudget) {
+  ClusterRig rig;
+  fault::FaultConfig faults;
+  faults.boot_hang_rate = 1.0;  // never fixed this time
+  rig.cl.host(0).configure_faults(faults);
+
+  cluster::Cluster::SupervisionConfig cfg;
+  cfg.supervisor.preferred = rejuv::RebootKind::kCold;
+  cfg.supervisor.max_step_retries = 0;
+  cfg.max_host_retries = 1;
+  bool done = false;
+  cluster::Cluster::RollingReport report;
+  rig.cl.rolling_rejuvenation_supervised(
+      cfg, [&](const cluster::Cluster::RollingReport& r) {
+        report = r;
+        done = true;
+      });
+  while (!done) rig.sim.step();
+  EXPECT_FALSE(report.fully_recovered());
+  EXPECT_EQ(report.evicted_hosts, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(report.failed_hosts, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(report.recovered_hosts.empty());
+  // The dead host stays out of rotation; the healthy one still serves.
+  EXPECT_EQ(rig.cl.balancer().evicted_backends(), std::size_t{2});
+  EXPECT_EQ(rig.cl.balancer().reachable_backends(), std::size_t{2});
+  // Initial pass on each host + 2 recovery attempts on host 0.
+  EXPECT_EQ(report.passes.size(), std::size_t{4});
+}
+
+TEST(Cluster, EvictionExcludesBackendsFromDispatchUntilLifted) {
+  ClusterRig rig;
+  rig.cl.balancer().set_host_evicted(&rig.cl.host(0), true);
+  EXPECT_EQ(rig.cl.balancer().evicted_backends(), std::size_t{2});
+  EXPECT_EQ(rig.cl.balancer().reachable_backends(), std::size_t{2});
+  int served = 0;
+  for (int i = 0; i < 6; ++i) {
+    rig.cl.balancer().dispatch([&](bool ok) { served += ok ? 1 : 0; });
+  }
+  rig.sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(served, 6);  // host 1 carried everything
+  rig.cl.balancer().set_host_evicted(&rig.cl.host(0), false);
+  EXPECT_EQ(rig.cl.balancer().evicted_backends(), std::size_t{0});
+  EXPECT_EQ(rig.cl.balancer().reachable_backends(), std::size_t{4});
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+// FaultInjector: determinism, zero-rate transparency, accounting.
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "test_util.hpp"
+
+namespace rh::test {
+namespace {
+
+using fault::FaultConfig;
+using fault::FaultInjector;
+using fault::FaultKind;
+
+TEST(FaultInjector, DefaultConstructedIsDisabledAndNeverFires) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.roll(FaultKind::kVmmCrash, i, "x"));
+  }
+  EXPECT_EQ(inj.total_injected(), std::uint64_t{0});
+  EXPECT_TRUE(inj.injected().empty());
+}
+
+TEST(FaultInjector, ZeroRateKindNeverDrawsFromTheStream) {
+  // Rolling a kind whose rate is zero must leave the stream untouched, so
+  // the enabled kinds see the same draw sequence whether or not disabled
+  // kinds are polled in between.
+  FaultConfig cfg;
+  cfg.boot_hang_rate = 0.5;  // enabled; everything else zero
+  sim::Rng rng(99);
+  FaultInjector plain(cfg, rng.split());
+
+  sim::Rng rng2(99);
+  FaultInjector interleaved(cfg, rng2.split());
+
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(plain.roll(FaultKind::kGuestBootHang, i, "boot"));
+    // Interleave zero-rate polls; they must not shift the stream.
+    interleaved.roll(FaultKind::kVmmCrash, i, "crash");
+    interleaved.roll(FaultKind::kDiskWriteError, i, "save");
+    b.push_back(interleaved.roll(FaultKind::kGuestBootHang, i, "boot"));
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(interleaved.count(FaultKind::kVmmCrash), std::uint64_t{0});
+  EXPECT_EQ(interleaved.count(FaultKind::kDiskWriteError), std::uint64_t{0});
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  const FaultConfig cfg = FaultConfig::uniform(0.3);
+  sim::Rng r1(1234), r2(1234);
+  FaultInjector a(cfg, r1.split());
+  FaultInjector b(cfg, r2.split());
+  const FaultKind kinds[] = {
+      FaultKind::kXexecLoadFailure, FaultKind::kDiskReadError,
+      FaultKind::kCorruptPreservedImage, FaultKind::kMigrationAbort,
+      FaultKind::kGuestBootHang};
+  for (int i = 0; i < 200; ++i) {
+    const auto k = kinds[i % 5];
+    EXPECT_EQ(a.roll(k, i, "p"), b.roll(k, i, "p"));
+  }
+  EXPECT_EQ(a.schedule_fingerprint(), b.schedule_fingerprint());
+  EXPECT_GT(a.total_injected(), std::uint64_t{0});  // 0.3 over 200 rolls
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  const FaultConfig cfg = FaultConfig::uniform(0.5);
+  sim::Rng r1(1), r2(2);
+  FaultInjector a(cfg, r1.split());
+  FaultInjector b(cfg, r2.split());
+  for (int i = 0; i < 256; ++i) {
+    a.roll(FaultKind::kGuestBootHang, i, "p");
+    b.roll(FaultKind::kGuestBootHang, i, "p");
+  }
+  EXPECT_NE(a.schedule_fingerprint(), b.schedule_fingerprint());
+}
+
+TEST(FaultInjector, RecordsCarryKindTimeAndSite) {
+  FaultConfig cfg;
+  cfg.vmm_crash_rate = 1.0;
+  sim::Rng rng(7);
+  FaultInjector inj(cfg, rng.split());
+  EXPECT_TRUE(inj.roll(FaultKind::kVmmCrash, 42, "pre-rejuvenation"));
+  ASSERT_EQ(inj.total_injected(), std::uint64_t{1});
+  EXPECT_EQ(inj.injected()[0].kind, FaultKind::kVmmCrash);
+  EXPECT_EQ(inj.injected()[0].at, 42);
+  EXPECT_EQ(inj.injected()[0].where, "pre-rejuvenation");
+  EXPECT_EQ(inj.count(FaultKind::kVmmCrash), std::uint64_t{1});
+  EXPECT_EQ(inj.count(FaultKind::kGuestBootHang), std::uint64_t{0});
+}
+
+TEST(FaultInjector, UniformSetsEveryRate) {
+  const FaultConfig cfg = FaultConfig::uniform(0.25);
+  for (std::size_t k = 0; k < static_cast<std::size_t>(FaultKind::kCount);
+       ++k) {
+    EXPECT_DOUBLE_EQ(cfg.rate_of(static_cast<FaultKind>(k)), 0.25);
+  }
+  EXPECT_TRUE(cfg.enabled());
+  EXPECT_FALSE(FaultConfig{}.enabled());
+}
+
+TEST(FaultInjector, DisarmedHostLeavesHostRngUntouched) {
+  // configure_faults with an all-zero config must not split the host RNG:
+  // fault-free runs have to reproduce historical seeds byte-for-byte.
+  sim::Simulation sim_a, sim_b;
+  vmm::Host a(sim_a, {}, /*seed=*/42);
+  vmm::Host b(sim_b, {}, /*seed=*/42);
+  a.configure_faults(fault::FaultConfig{});  // disarmed: no split
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(a.rng().uniform01(), b.rng().uniform01());
+  }
+  EXPECT_FALSE(a.faults().enabled());
+}
+
+TEST(FaultInjector, ArmedHostScheduleIsAFunctionOfSeedOnly) {
+  auto fingerprint = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    vmm::Host host(sim, {}, seed);
+    host.configure_faults(fault::FaultConfig::uniform(0.4));
+    for (int i = 0; i < 100; ++i) {
+      host.faults().roll(FaultKind::kGuestBootHang, i, "boot");
+    }
+    return host.faults().schedule_fingerprint();
+  };
+  EXPECT_EQ(fingerprint(7), fingerprint(7));
+  EXPECT_NE(fingerprint(7), fingerprint(8));
+}
+
+}  // namespace
+}  // namespace rh::test

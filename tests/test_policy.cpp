@@ -86,6 +86,40 @@ TEST(Policy, HeapPressureTriggersEarlyVmmRejuvenation) {
   EXPECT_LT(fx.host->vmm().heap().pressure(), 0.3);
 }
 
+TEST(Policy, BusyCollisionsBackOffExponentiallyAndAreRecorded) {
+  // An OS timer that fires while the VMM rejuvenation is in flight defers
+  // with capped exponential backoff. Against the same busy window, a
+  // growing delay needs strictly fewer polls than the fixed cadence
+  // (cap == delay degenerates to the historical fixed retry), and the
+  // deferral count is recorded on the eventual event.
+  auto total_os_deferrals = [](sim::Duration cap) {
+    HostFixture fx(2);
+    rejuv::RejuvenationPolicy::Config cfg;
+    cfg.os_interval = 2 * sim::kHour;
+    cfg.os_stagger = 0;  // both OS timers land inside the VMM window
+    cfg.vmm_interval = 2 * sim::kHour - 30 * sim::kSecond;
+    cfg.vmm_reboot_kind = rejuv::RebootKind::kWarm;
+    cfg.retry_delay = 2 * sim::kSecond;
+    cfg.retry_delay_cap = cap;
+    rejuv::RejuvenationPolicy policy(*fx.host, fx.guest_ptrs(), cfg);
+    policy.start();
+    fx.sim.run_for(3 * sim::kHour);
+    std::uint64_t deferrals = 0;
+    bool saw_deferred_event = false;
+    for (const auto& e : policy.events()) {
+      if (!e.is_vmm && e.deferrals > 0) saw_deferred_event = true;
+      if (!e.is_vmm) deferrals += e.deferrals;
+    }
+    EXPECT_TRUE(saw_deferred_event);
+    return deferrals;
+  };
+  const auto fixed = total_os_deferrals(2 * sim::kSecond);
+  const auto backoff = total_os_deferrals(5 * sim::kMinute);
+  EXPECT_GT(fixed, std::uint64_t{0});
+  EXPECT_GT(backoff, std::uint64_t{0});
+  EXPECT_LT(backoff, fixed);
+}
+
 TEST(Policy, EventsRecordDurations) {
   HostFixture fx(1);
   rejuv::RejuvenationPolicy policy(*fx.host, fx.guest_ptrs(),
