@@ -208,13 +208,7 @@ int main(int argc, char** argv) {
   std::vector<char*> rest = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
-      std::string list = argv[++i];
-      for (std::size_t pos = 0; pos < list.size();) {
-        const auto comma = list.find(',', pos);
-        fault_rates.push_back(
-            std::atof(list.substr(pos, comma - pos).c_str()));
-        pos = comma == std::string::npos ? list.size() : comma + 1;
-      }
+      fault_rates = rh::bench::parse_value_list("--fault-rate", argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {

@@ -145,6 +145,12 @@ void Cluster::supervise_from(std::size_t host_index,
       balancer_.set_host_evicted(hosts_[host_index].get(), true);
       rolling_report_.evicted_hosts.push_back(host_index);
       retry_queue_.push_back(host_index);
+    } else if (report.pressure.pressured) {
+      // The host came back, but only by shedding preserved memory: its
+      // admission controller had to reclaim or demote. Drain load away
+      // from it rather than feeding the overcommit.
+      balancer_.set_host_pressured(hosts_[host_index].get(), true);
+      rolling_report_.pressured_hosts.push_back(host_index);
     }
     supervise_from(host_index + 1, std::move(on_done));
   });

@@ -53,6 +53,12 @@ class Cluster {
     std::vector<std::size_t> recovered_hosts;
     /// Hosts still evicted when the pass ended (retries exhausted too).
     std::vector<std::size_t> failed_hosts;
+    /// Hosts whose pass succeeded but whose admission controller reported
+    /// preserved-memory pressure (demand over budget). They stay in
+    /// service as a last resort, but the balancer stops preferring them
+    /// (LoadBalancer::set_host_pressured) -- backpressure instead of
+    /// deepening the overcommit.
+    std::vector<std::size_t> pressured_hosts;
     [[nodiscard]] bool fully_recovered() const { return failed_hosts.empty(); }
   };
 

@@ -36,21 +36,46 @@ std::size_t LoadBalancer::evicted_backends() const {
   return n;
 }
 
-void LoadBalancer::dispatch(std::function<void(bool)> done) {
-  ensure(static_cast<bool>(done), "LoadBalancer::dispatch: callback required");
-  ensure(!backends_.empty(), "LoadBalancer::dispatch: no backends");
-  // Round-robin, skipping unreachable backends.
+void LoadBalancer::set_host_pressured(const vmm::Host* host, bool pressured) {
+  ensure(host != nullptr, "LoadBalancer::set_host_pressured: null host");
+  for (auto& s : backends_) {
+    if (&s.backend.os->host() == host) s.pressured = pressured;
+  }
+}
+
+std::size_t LoadBalancer::pressured_backends() const {
+  std::size_t n = 0;
+  for (const auto& s : backends_) {
+    if (s.pressured) ++n;
+  }
+  return n;
+}
+
+bool LoadBalancer::try_dispatch(bool allow_pressured,
+                                std::function<void(bool)>& done) {
+  // Round-robin, skipping evicted and unreachable backends.
   for (std::size_t probe = 0; probe < backends_.size(); ++probe) {
     Slot& slot = backends_[rr_ % backends_.size()];
     ++rr_;
     if (slot.evicted) continue;
+    if (slot.pressured && !allow_pressured) continue;
     if (!slot.backend.os->service_reachable(*slot.backend.apache)) continue;
     const auto file = slot.backend.files[slot.next_file % slot.backend.files.size()];
     ++slot.next_file;
     ++dispatched_;
     slot.backend.apache->serve_file(*slot.backend.os, file, std::move(done));
-    return;
+    return true;
   }
+  return false;
+}
+
+void LoadBalancer::dispatch(std::function<void(bool)> done) {
+  ensure(static_cast<bool>(done), "LoadBalancer::dispatch: callback required");
+  ensure(!backends_.empty(), "LoadBalancer::dispatch: no backends");
+  // Pressured backends are a last resort: take them only when nothing
+  // unpressured answers, rather than failing the request outright.
+  if (try_dispatch(/*allow_pressured=*/false, done)) return;
+  if (try_dispatch(/*allow_pressured=*/true, done)) return;
   ++rejected_;
   done(false);
 }

@@ -38,9 +38,19 @@ class LoadBalancer {
   void set_host_evicted(const vmm::Host* host, bool evicted);
   [[nodiscard]] std::size_t evicted_backends() const;
 
-  /// Dispatches one request round-robin across reachable backends;
-  /// done(false) when no backend is reachable or the chosen backend went
-  /// down mid-request.
+  /// Marks (or clears) every backend on `host` as memory-pressured. A
+  /// pressured host stays in service but stops receiving new placements:
+  /// dispatch only falls back to it when no unpressured backend is
+  /// reachable. The supervised rolling pass sets this on hosts whose
+  /// admission controller reported preserved-memory pressure (demand
+  /// exceeded the budget), so load drains away instead of deepening the
+  /// overcommit.
+  void set_host_pressured(const vmm::Host* host, bool pressured);
+  [[nodiscard]] std::size_t pressured_backends() const;
+
+  /// Dispatches one request round-robin across reachable backends
+  /// (preferring unpressured ones); done(false) when no backend is
+  /// reachable or the chosen backend went down mid-request.
   void dispatch(std::function<void(bool)> done);
 
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
@@ -51,7 +61,9 @@ class LoadBalancer {
     Backend backend;
     std::size_t next_file = 0;
     bool evicted = false;
+    bool pressured = false;
   };
+  bool try_dispatch(bool allow_pressured, std::function<void(bool)>& done);
   std::vector<Slot> backends_;
   std::size_t rr_ = 0;
   std::uint64_t dispatched_ = 0;

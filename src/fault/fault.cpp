@@ -13,6 +13,9 @@ const char* to_string(FaultKind k) {
     case FaultKind::kCorruptPreservedImage: return "corrupt-preserved-image";
     case FaultKind::kMigrationAbort: return "migration-abort";
     case FaultKind::kGuestBootHang: return "guest-boot-hang";
+    case FaultKind::kPreservedRegionLeak: return "preserved-region-leak";
+    case FaultKind::kFrameAllocFailure: return "frame-alloc-failure";
+    case FaultKind::kBalloonReclaimFailure: return "balloon-reclaim-failure";
     case FaultKind::kCount: break;
   }
   return "unknown";
@@ -27,6 +30,9 @@ double FaultConfig::rate_of(FaultKind k) const {
     case FaultKind::kCorruptPreservedImage: return image_corruption_rate;
     case FaultKind::kMigrationAbort: return migration_abort_rate;
     case FaultKind::kGuestBootHang: return boot_hang_rate;
+    case FaultKind::kPreservedRegionLeak: return preserved_region_leak_rate;
+    case FaultKind::kFrameAllocFailure: return frame_alloc_failure_rate;
+    case FaultKind::kBalloonReclaimFailure: return balloon_reclaim_failure_rate;
     case FaultKind::kCount: break;
   }
   throw InvariantViolation("FaultConfig::rate_of: bad kind");
@@ -49,6 +55,9 @@ FaultConfig FaultConfig::uniform(double rate) {
   c.image_corruption_rate = rate;
   c.migration_abort_rate = rate;
   c.boot_hang_rate = rate;
+  c.preserved_region_leak_rate = rate;
+  c.frame_alloc_failure_rate = rate;
+  c.balloon_reclaim_failure_rate = rate;
   return c;
 }
 

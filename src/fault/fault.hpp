@@ -39,6 +39,9 @@ enum class FaultKind : std::uint8_t {
   kCorruptPreservedImage,  ///< preserved image corrupted; caught by checksum
   kMigrationAbort,         ///< pre-copy round aborts mid-migration
   kGuestBootHang,          ///< guest OS boot hangs (watchdog territory)
+  kPreservedRegionLeak,    ///< incoming VMM fails to release a stale region
+  kFrameAllocFailure,      ///< frame allocation fails mid-suspend; no image
+  kBalloonReclaimFailure,  ///< balloon inflate reclaims nothing under pressure
   kCount,
 };
 
@@ -54,6 +57,9 @@ struct FaultConfig {
   double image_corruption_rate = 0.0;
   double migration_abort_rate = 0.0;
   double boot_hang_rate = 0.0;
+  double preserved_region_leak_rate = 0.0;
+  double frame_alloc_failure_rate = 0.0;
+  double balloon_reclaim_failure_rate = 0.0;
 
   [[nodiscard]] double rate_of(FaultKind k) const;
   [[nodiscard]] bool enabled() const;

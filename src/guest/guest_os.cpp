@@ -45,6 +45,24 @@ GuestOs::GuestOs(vmm::Host& host, std::string name, sim::Bytes memory)
          "GuestOs: cache region exceeds domain memory");
 }
 
+void GuestOs::set_boot_allocation(sim::Bytes bytes) {
+  ensure(state_ == OsState::kHalted,
+         "GuestOs::set_boot_allocation: OS must be halted");
+  ensure(bytes >= 0 && bytes <= memory_,
+         "GuestOs::set_boot_allocation: out of [0, memory]");
+  if (bytes > 0) {
+    ensure(cache_region_end_pfn() <= bytes / sim::kPageSize,
+           "GuestOs::set_boot_allocation: kernel + page cache do not fit");
+  }
+  boot_allocation_ = bytes;
+}
+
+mm::Pfn GuestOs::cache_region_end_pfn() const {
+  return kCacheRegionStart +
+         cache_capacity_blocks(host_->calib(), memory_) *
+             (host_->calib().cache_block_size / sim::kPageSize);
+}
+
 void GuestOs::trace(const std::string& msg) {
   host_->tracer().emit(host_->sim().now(), "guest/" + name_, msg);
 }
@@ -115,7 +133,8 @@ void GuestOs::create_and_boot(std::function<void()> on_up) {
                             [this, on_up = std::move(on_up)](DomainId id) {
                               domain_id_ = id;
                               boot_sequence(std::move(on_up));
-                            });
+                            },
+                            boot_allocation_);
 }
 
 void GuestOs::boot_sequence(std::function<void()> on_up) {

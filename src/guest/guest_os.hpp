@@ -51,6 +51,19 @@ class GuestOs : public vmm::GuestHooks, public GuestMemoryBacking {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] sim::Bytes memory() const { return memory_; }
+
+  /// Configures a reduced initial allocation (Xen's memory= < maxmem=):
+  /// the domain is created with only this much populated, the rest of the
+  /// nominal `memory()` starting as balloon holes -- how an overcommitted
+  /// VM boots at all. 0 (default) populates everything. The kernel image
+  /// and the page-cache region must still fit. Valid while halted.
+  void set_boot_allocation(sim::Bytes bytes);
+  [[nodiscard]] sim::Bytes boot_allocation() const { return boot_allocation_; }
+
+  /// One past the last PFN the OS itself uses (kernel + page cache).
+  /// Frames above this are reclaim-safe: a balloon inflate that only takes
+  /// pages above it never steals a cache or kernel page.
+  [[nodiscard]] mm::Pfn cache_region_end_pfn() const;
   [[nodiscard]] OsState state() const { return state_; }
   [[nodiscard]] DomainId domain_id() const { return domain_id_; }
   [[nodiscard]] vmm::Host& host() { return *host_; }
@@ -119,6 +132,7 @@ class GuestOs : public vmm::GuestHooks, public GuestMemoryBacking {
   vmm::Host* host_;  // never null; rebindable only via rebind_host()
   std::string name_;
   sim::Bytes memory_;
+  sim::Bytes boot_allocation_ = 0;  // 0 == populate all of memory_
   bool driver_domain_ = false;
   OsState state_ = OsState::kHalted;
   DomainId domain_id_ = kNoDomain;

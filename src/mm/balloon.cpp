@@ -17,14 +17,19 @@ std::int64_t BalloonDriver::inflate(std::int64_t frames) {
 }
 
 std::int64_t BalloonDriver::deflate(std::int64_t frames) {
-  // Collect target holes first so a failed allocation changes nothing.
+  // Clamp to what the allocator can actually give before touching the
+  // P2M table, then collect exactly that many target holes: the single
+  // allocate() below can no longer fail, so the table is updated for
+  // every allocated frame or not at all (the documented partial-success
+  // guarantee -- no half-updated P2M, no OutOfMachineMemory escaping).
+  const std::int64_t want = std::min(frames, allocator_.free_frames());
   std::vector<Pfn> holes;
-  for (Pfn pfn = 0; pfn < p2m_.pfn_count() &&
-                    std::int64_t(holes.size()) < frames;
-       ++pfn) {
+  for (Pfn pfn = 0;
+       pfn < p2m_.pfn_count() && std::int64_t(holes.size()) < want; ++pfn) {
     if (p2m_.is_hole(pfn)) holes.push_back(pfn);
   }
-  const auto got = allocator_.allocate(domain_, static_cast<std::int64_t>(holes.size()));
+  const auto got =
+      allocator_.allocate(domain_, static_cast<std::int64_t>(holes.size()));
   for (std::size_t i = 0; i < holes.size(); ++i) p2m_.add(holes[i], got[i]);
   return static_cast<std::int64_t>(holes.size());
 }

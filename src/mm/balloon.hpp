@@ -26,8 +26,16 @@ class BalloonDriver {
   std::int64_t inflate(std::int64_t frames);
 
   /// Deflates by `frames` pages: re-populates holes (lowest PFNs first)
-  /// with freshly allocated machine frames. Throws OutOfMachineMemory if
-  /// the allocator cannot satisfy it. Returns pages re-populated.
+  /// with freshly allocated machine frames.
+  ///
+  /// Partial-success guarantee: never throws for lack of memory. The
+  /// request is clamped upfront to min(holes, allocator free frames) and
+  /// the clamped allocation is made in one call, so either all of those
+  /// pages are populated or -- if the allocator is exhausted -- none are.
+  /// The P2M table is never left half-updated mid-request. Returns the
+  /// number of pages actually re-populated (possibly 0, possibly less
+  /// than `frames`); callers that need all-or-nothing compare the return
+  /// value to their request.
   std::int64_t deflate(std::int64_t frames);
 
   /// Pages currently ballooned out (holes in the P2M table).

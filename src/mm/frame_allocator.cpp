@@ -44,6 +44,43 @@ std::vector<hw::FrameNumber> FrameAllocator::allocate(DomainId owner,
   return out;
 }
 
+std::vector<hw::FrameNumber> FrameAllocator::allocate_contiguous(
+    DomainId owner, std::int64_t count) {
+  ensure(owner != kNoDomain, "FrameAllocator::allocate_contiguous: invalid owner");
+  ensure(count >= 0, "FrameAllocator::allocate_contiguous: negative count");
+  if (count == 0) return {};
+  if (count > free_) {
+    throw OutOfMachineMemory(
+        "FrameAllocator: requested " + std::to_string(count) +
+        " contiguous frames, only " + std::to_string(free_) + " free");
+  }
+  // First-fit over ascending MFN runs.
+  std::int64_t run_start = -1;
+  std::int64_t run_len = 0;
+  for (std::int64_t mfn = 0; mfn < total_; ++mfn) {
+    if (owner_[static_cast<std::size_t>(mfn)] == kNoDomain) {
+      if (run_len == 0) run_start = mfn;
+      if (++run_len == count) {
+        std::vector<hw::FrameNumber> out;
+        out.reserve(static_cast<std::size_t>(count));
+        for (std::int64_t f = run_start; f < run_start + count; ++f) {
+          owner_[static_cast<std::size_t>(f)] = owner;
+          out.push_back(f);
+        }
+        free_ -= count;
+        owned_counts_[owner] += count;
+        return out;
+      }
+    } else {
+      run_len = 0;
+    }
+  }
+  throw OutOfMachineMemory(
+      "FrameAllocator: no contiguous run of " + std::to_string(count) +
+      " frames (" + std::to_string(free_) + " free, largest run " +
+      std::to_string(largest_free_run()) + "): machine memory is fragmented");
+}
+
 void FrameAllocator::claim(DomainId owner, std::span<const hw::FrameNumber> frames) {
   ensure(owner != kNoDomain, "FrameAllocator::claim: invalid owner");
   for (const auto mfn : frames) {
@@ -103,6 +140,56 @@ std::vector<hw::FrameNumber> FrameAllocator::free_frame_list() const {
     if (owner_[i] == kNoDomain) out.push_back(static_cast<hw::FrameNumber>(i));
   }
   return out;
+}
+
+std::int64_t FrameAllocator::largest_free_run() const {
+  std::int64_t best = 0;
+  std::int64_t run = 0;
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    if (owner_[i] == kNoDomain) {
+      if (++run > best) best = run;
+    } else {
+      run = 0;
+    }
+  }
+  return best;
+}
+
+double FrameAllocator::fragmentation() const {
+  if (free_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_run()) /
+                   static_cast<double>(free_);
+}
+
+hw::FrameNumber FrameAllocator::lowest_free_from(hw::FrameNumber hint) const {
+  for (std::int64_t mfn = hint < 0 ? 0 : hint; mfn < total_; ++mfn) {
+    if (owner_[static_cast<std::size_t>(mfn)] == kNoDomain) return mfn;
+  }
+  return -1;
+}
+
+bool FrameAllocator::accounting_ok() const {
+  std::int64_t seen_free = 0;
+  std::unordered_map<DomainId, std::int64_t> seen_counts;
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    if (owner_[i] == kNoDomain) {
+      ++seen_free;
+    } else {
+      ++seen_counts[owner_[i]];
+    }
+  }
+  if (seen_free != free_) return false;
+  for (const auto& [owner, count] : seen_counts) {
+    const auto it = owned_counts_.find(owner);
+    if (it == owned_counts_.end() || it->second != count) return false;
+  }
+  // No phantom owners: every cached non-zero count must be backed by frames.
+  for (const auto& [owner, count] : owned_counts_) {
+    if (count == 0) continue;
+    const auto it = seen_counts.find(owner);
+    if (it == seen_counts.end() || it->second != count) return false;
+  }
+  return true;
 }
 
 }  // namespace rh::mm

@@ -31,6 +31,14 @@ class FrameAllocator {
   /// fewer than `count` frames are free.
   std::vector<hw::FrameNumber> allocate(DomainId owner, std::int64_t count);
 
+  /// Allocates `count` *contiguous* free frames (one ascending MFN run) to
+  /// `owner`. Throws OutOfMachineMemory when no run is long enough -- the
+  /// message distinguishes genuine exhaustion from fragmentation, since a
+  /// preserved-region metadata placement can fail with plenty of scattered
+  /// free frames (DESIGN.md §9).
+  std::vector<hw::FrameNumber> allocate_contiguous(DomainId owner,
+                                                   std::int64_t count);
+
   /// Claims the exact given frames for `owner`. Every frame must currently
   /// be free; throws InvariantViolation otherwise. Used after quick reload
   /// to re-attach preserved memory images.
@@ -53,6 +61,22 @@ class FrameAllocator {
   /// All currently-free frames, in ascending MFN order. Used by the VMM's
   /// boot-time scrubber.
   [[nodiscard]] std::vector<hw::FrameNumber> free_frame_list() const;
+
+  /// Length of the longest run of consecutive free MFNs.
+  [[nodiscard]] std::int64_t largest_free_run() const;
+
+  /// External-fragmentation score in [0,1]: 1 - largest_free_run / free.
+  /// 0 when all free memory is one run (or nothing is free).
+  [[nodiscard]] double fragmentation() const;
+
+  /// Lowest free MFN >= `hint`, or -1 when none. Lets callers walk the
+  /// free pool in ascending order without rescanning from zero (the
+  /// compaction pass passes the previous result + 1 as the next hint).
+  [[nodiscard]] hw::FrameNumber lowest_free_from(hw::FrameNumber hint) const;
+
+  /// Conservation check: the cached free counter and per-owner counts
+  /// agree with the owner map. Cheap enough to run after every reload.
+  [[nodiscard]] bool accounting_ok() const;
 
  private:
   void check_mfn(hw::FrameNumber mfn) const;

@@ -17,10 +17,23 @@ std::uint64_t payload_checksum(const std::vector<std::byte>& payload) {
 
 void PreservedRegionRegistry::put(PreservedRegion region) {
   ensure(!region.name.empty(), "PreservedRegionRegistry: region needs a name");
+  ensure(regions_.find(region.name) == regions_.end(),
+         "PreservedRegionRegistry::put: duplicate region '" + region.name +
+             "' (use replace() to overwrite deliberately)");
+  check_budget(region, /*replaced_frames=*/0);
   region.checksum = payload_checksum(region.payload);
-  const auto it = regions_.find(region.name);
-  if (it == regions_.end()) order_.push_back(region.name);
+  order_.push_back(region.name);
   regions_[region.name] = std::move(region);
+}
+
+void PreservedRegionRegistry::replace(PreservedRegion region) {
+  ensure(!region.name.empty(), "PreservedRegionRegistry: region needs a name");
+  const auto it = regions_.find(region.name);
+  ensure(it != regions_.end(),
+         "PreservedRegionRegistry::replace: no region '" + region.name + "'");
+  check_budget(region, frames_of(it->second));
+  region.checksum = payload_checksum(region.payload);
+  it->second = std::move(region);
 }
 
 bool PreservedRegionRegistry::intact(const std::string& name) const {
@@ -70,9 +83,42 @@ sim::Bytes PreservedRegionRegistry::payload_bytes() const {
   return total;
 }
 
+std::int64_t PreservedRegionRegistry::frames_of(const PreservedRegion& region) {
+  const auto payload_frames =
+      (static_cast<std::int64_t>(region.payload.size()) + sim::kPageSize - 1) /
+      sim::kPageSize;
+  return static_cast<std::int64_t>(region.frozen_frames.size()) + payload_frames;
+}
+
+std::int64_t PreservedRegionRegistry::reserved_frames() const {
+  std::int64_t total = 0;
+  for (const auto& [name, r] : regions_) total += frames_of(r);
+  return total;
+}
+
+void PreservedRegionRegistry::set_frame_budget(std::int64_t frames) {
+  ensure(frames >= 0, "PreservedRegionRegistry: negative frame budget");
+  frame_budget_ = frames;
+}
+
+void PreservedRegionRegistry::check_budget(const PreservedRegion& incoming,
+                                           std::int64_t replaced_frames) const {
+  if (frame_budget_ == 0) return;
+  const std::int64_t after =
+      reserved_frames() - replaced_frames + frames_of(incoming);
+  if (after > frame_budget_) {
+    throw PreservedBudgetExceeded(
+        "PreservedRegionRegistry: region '" + incoming.name + "' needs " +
+        std::to_string(frames_of(incoming)) + " frames; registry would hold " +
+        std::to_string(after) + " of a " + std::to_string(frame_budget_) +
+        "-frame budget");
+  }
+}
+
 void PreservedRegionRegistry::clear() {
   regions_.clear();
   order_.clear();
+  // frame_budget_ survives: it models the contract, not the contents.
 }
 
 }  // namespace rh::mm

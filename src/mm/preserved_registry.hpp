@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,10 +39,32 @@ struct PreservedRegion {
 /// FNV-1a over a payload; the checksum PreservedRegionRegistry stamps.
 [[nodiscard]] std::uint64_t payload_checksum(const std::vector<std::byte>& payload);
 
+/// Thrown when a put()/replace() would push the registry past its
+/// configured preserved-frame budget (DESIGN.md §9). The region is NOT
+/// recorded; the caller decides how to degrade.
+class PreservedBudgetExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class PreservedRegionRegistry {
  public:
-  /// Inserts or replaces a region by name, stamping its checksum.
+  /// Inserts a region by name, stamping its checksum. Throws
+  /// InvariantViolation if a region with that name already exists --
+  /// silently overwriting would leak the old region's frozen frames,
+  /// which stay claimed in the allocator with nobody left to release
+  /// them. Use replace() to overwrite deliberately.
   void put(PreservedRegion region);
+
+  /// Replaces an *existing* region by name (checksum restamped, insertion
+  /// order kept). Throws InvariantViolation if the name is absent. The
+  /// caller owns the frame-accounting consequences of dropping the old
+  /// record.
+  void replace(PreservedRegion region);
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return regions_.find(name) != regions_.end();
+  }
 
   /// Looks up a region; nullptr if absent.
   [[nodiscard]] const PreservedRegion* find(const std::string& name) const;
@@ -70,12 +93,33 @@ class PreservedRegionRegistry {
   /// Total metadata bytes held (payloads only, not frozen frames).
   [[nodiscard]] sim::Bytes payload_bytes() const;
 
-  /// Destroys everything (models power loss).
+  /// Machine frames one region costs: its frozen frames plus the metadata
+  /// frames the incoming VMM must allocate for the payload
+  /// (ceil(payload / kPageSize)) -- the same arithmetic
+  /// Vmm::reserve_preserved_regions uses at reload.
+  [[nodiscard]] static std::int64_t frames_of(const PreservedRegion& region);
+
+  /// Sum of frames_of over every recorded region: what a quick reload
+  /// will have to find before it can scrub.
+  [[nodiscard]] std::int64_t reserved_frames() const;
+
+  /// Caps reserved_frames(): a put()/replace() that would exceed the
+  /// budget throws PreservedBudgetExceeded instead of recording. 0 (the
+  /// default) means unlimited. The budget is a property of the preserved-
+  /// memory contract, not of its contents, so clear() keeps it.
+  void set_frame_budget(std::int64_t frames);
+  [[nodiscard]] std::int64_t frame_budget() const { return frame_budget_; }
+
+  /// Destroys every region (models power loss); keeps the budget.
   void clear();
 
  private:
+  void check_budget(const PreservedRegion& incoming,
+                    std::int64_t replaced_frames) const;
+
   std::vector<std::string> order_;
   std::unordered_map<std::string, PreservedRegion> regions_;
+  std::int64_t frame_budget_ = 0;  // 0 == unlimited
 };
 
 }  // namespace rh::mm

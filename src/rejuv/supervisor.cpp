@@ -1,9 +1,11 @@
 #include "rejuv/supervisor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
 
+#include "mm/balloon.hpp"
 #include "simcore/check.hpp"
 
 namespace rh::rejuv {
@@ -18,6 +20,11 @@ const char* to_string(RecoveryAction a) {
     case RecoveryAction::kHardwareRebootAfterCrash:
       return "hardware-reboot-after-crash";
     case RecoveryAction::kGaveUp: return "gave-up";
+    case RecoveryAction::kBalloonReclaim: return "balloon-reclaim";
+    case RecoveryAction::kCompactionPass: return "compaction-pass";
+    case RecoveryAction::kDemoteToSaved: return "demote-to-saved";
+    case RecoveryAction::kDemoteToCold: return "demote-to-cold";
+    case RecoveryAction::kPreservedImageLost: return "preserved-image-lost";
   }
   return "unknown";
 }
@@ -183,40 +190,178 @@ void Supervisor::attempt_xexec(int attempt) {
 }
 
 void Supervisor::warm_after_xexec() {
-  auto after_drivers = [this] {
-    if (host_.calib().suspend_by_vmm_after_dom0_shutdown) {
-      host_.shutdown_dom0([this] {
-        host_.vmm().suspend_all_on_memory([this] {
-          host_.quick_reload([this] { warm_resume_phase(); });
-        });
-      });
-    } else {
-      host_.vmm().suspend_all_on_memory([this] {
+  auto proceed = [this] {
+    auto after_drivers = [this] {
+      if (host_.calib().suspend_by_vmm_after_dom0_shutdown) {
         host_.shutdown_dom0([this] {
-          host_.quick_reload([this] { warm_resume_phase(); });
+          host_.vmm().suspend_all_on_memory([this] {
+            host_.quick_reload([this] { warm_resume_phase(); });
+          });
         });
-      });
+      } else {
+        host_.vmm().suspend_all_on_memory([this] {
+          host_.shutdown_dom0([this] {
+            host_.quick_reload([this] { warm_resume_phase(); });
+          });
+        });
+      }
+    };
+    const GuestList drivers = driver_domain_guests();
+    if (drivers.empty()) {
+      after_drivers();
+      return;
     }
+    for_each_parallel(
+        drivers,
+        [](guest::GuestOs& g, std::function<void()> guest_done) {
+          g.shutdown(std::move(guest_done));
+        },
+        std::move(after_drivers));
   };
-  const GuestList drivers = driver_domain_guests();
-  if (drivers.empty()) {
-    after_drivers();
-    return;
+  // Preserved-memory admission happens before anything is disturbed:
+  // reclaims and demotions need xend (and for saves, the disk path)
+  // while dom0 is still up. Disabled admission takes the historical path
+  // verbatim -- no extra events, no extra RNG draws.
+  if (config_.admission.enabled) {
+    run_admission(std::move(proceed));
+  } else {
+    proceed();
   }
-  for_each_parallel(
-      drivers,
-      [](guest::GuestOs& g, std::function<void()> guest_done) {
-        g.shutdown(std::move(guest_done));
-      },
-      std::move(after_drivers));
 }
 
-void Supervisor::discard_preserved_image(const std::string& guest_name) {
-  const std::string region_name =
-      std::string(vmm::Vmm::kRegionPrefix) + guest_name;
+// ------------------------------------------- preserved-memory admission
+
+std::int64_t Supervisor::escalate_demotion(AdmissionPlan& plan) {
+  if (plan.warm.empty()) return 0;
+  auto [g, demand] = plan.warm.front();
+  plan.warm.erase(plan.warm.begin());
+  const bool saved_allowed =
+      config_.admission.demote_to_saved &&
+      (config_.admission.max_saved_demotions < 0 ||
+       static_cast<int>(plan.demote_saved.size()) <
+           config_.admission.max_saved_demotions);
+  (saved_allowed ? plan.demote_saved : plan.demote_cold).push_back(g);
+  return demand;
+}
+
+void Supervisor::run_admission(std::function<void()> done) {
+  AdmissionController controller(host_, config_.admission);
+  AdmissionPlan plan = controller.plan(suspendable_guests());
+  report_.pressure.consulted = true;
+  report_.pressure.budget_frames = plan.budget_frames;
+  report_.pressure.demand_frames = plan.demand_frames;
+  report_.pressure.pressured = plan.pressured();
+
+  // Rung 1: execute the planned balloon reclaims. An injected reclaim
+  // failure (or a short inflate) leaves a residual shortfall that
+  // escalates into further demotions, largest surviving warm VM first.
+  std::int64_t residual = 0;
+  for (const auto& r : plan.reclaims) {
+    if (host_.faults().roll(fault::FaultKind::kBalloonReclaimFailure,
+                            host_.sim().now(),
+                            "admission:" + r.guest->name())) {
+      record(RecoveryAction::kBalloonReclaim, r.guest->name(),
+             "balloon reclaim FAILED (injected); 0 of " +
+                 std::to_string(r.frames) + " frames reclaimed");
+      residual += r.frames;
+      continue;
+    }
+    auto* d = host_.vmm().find_domain_by_name(r.guest->name());
+    ensure(d != nullptr, "run_admission: reclaim target has no domain");
+    mm::BalloonDriver balloon(d->id(), host_.vmm().allocator(), d->p2m());
+    const std::int64_t got = balloon.inflate(r.frames);
+    report_.pressure.reclaimed_frames += got;
+    residual += r.frames - got;
+    record(RecoveryAction::kBalloonReclaim, r.guest->name(),
+           "ballooned out " + std::to_string(got) + " of " +
+               std::to_string(r.frames) + " frames for admission");
+  }
+  while (residual > 0) {
+    const std::int64_t freed = escalate_demotion(plan);
+    if (freed == 0) break;  // nothing left to demote; suspend will shed
+    residual -= freed;
+  }
+
+  auto execute_demotions = [this, done = std::move(done)]() mutable {
+    for_each_parallel(
+        admit_saved_,
+        [this](guest::GuestOs& g, std::function<void()> guest_done) {
+          host_.vmm().save_domain_to_disk(
+              g.domain_id(), host_.images(),
+              [this, &g, guest_done = std::move(guest_done)] {
+                if (host_.images().find(g.name()) == nullptr) {
+                  record(RecoveryAction::kFallbackToCold, g.name(),
+                         "demotion save lost to a disk write error; VM "
+                         "will cold boot");
+                  g.force_power_off();
+                  cold_list_.push_back(&g);
+                }
+                guest_done();
+              });
+        },
+        [this, done = std::move(done)]() mutable {
+          for_each_parallel(
+              admit_cold_,
+              [this](guest::GuestOs& g, std::function<void()> guest_done) {
+                g.shutdown(std::move(guest_done));
+              },
+              std::move(done));
+        });
+  };
+
+  report_.pressure.demoted_saved = plan.demote_saved.size();
+  report_.pressure.demoted_cold = plan.demote_cold.size();
+  admit_saved_ = plan.demote_saved;
+  admit_cold_ = plan.demote_cold;
+  for (auto* g : admit_saved_) {
+    record(RecoveryAction::kDemoteToSaved, g->name(),
+           "preserved-memory shortfall; this VM takes the disk path while "
+           "its siblings stay warm");
+  }
+  for (auto* g : admit_cold_) {
+    record(RecoveryAction::kDemoteToCold, g->name(),
+           "preserved-memory shortfall; this VM cold boots while its "
+           "siblings stay warm");
+    cold_list_.push_back(g);
+  }
+
+  if (config_.admission.compact_before_suspend) {
+    const std::int64_t moved = host_.vmm().compact_memory();
+    report_.pressure.compacted_frames = moved;
+    const auto copy_time = sim::transfer_time(moved * sim::kPageSize,
+                                              host_.calib().mem_copy_bps);
+    if (moved > 0) {
+      record(RecoveryAction::kCompactionPass, "vmm",
+             "compacted " + std::to_string(moved) +
+                 " frames before suspend so frozen images and reload "
+                 "metadata sit in contiguous runs");
+    }
+    host_.sim().after(copy_time, std::move(execute_demotions));
+  } else {
+    execute_demotions();
+  }
+}
+
+void Supervisor::sweep_stale_regions() {
+  std::vector<std::string> stale;
+  for (const auto& name : host_.preserved().names()) {
+    if (name.rfind("stale/", 0) == 0) stale.push_back(name);
+  }
+  for (const auto& name : stale) {
+    if (host_.faults().roll(fault::FaultKind::kPreservedRegionLeak,
+                            host_.sim().now(), "sweep:" + name)) {
+      trace("stale region '" + name + "' survived the sweep (injected)");
+      continue;
+    }
+    discard_region(name);
+    trace("released stale region '" + name + "'");
+  }
+}
+
+void Supervisor::discard_region(const std::string& region_name) {
   if (const auto* region = host_.preserved().find(region_name)) {
-    // The incoming VMM re-reserved the image's frozen frames; give them
-    // back so the replacement cold boot can use the memory.
+    // The incoming VMM re-reserved the region's frozen frames; give them
+    // back so replacement boots can use the memory.
     auto& alloc = host_.vmm().allocator();
     for (const auto mfn : region->frozen_frames) {
       if (alloc.owner_of(mfn) == kVmmOwner) alloc.release(mfn);
@@ -225,25 +370,72 @@ void Supervisor::discard_preserved_image(const std::string& guest_name) {
   host_.preserved().erase(region_name);
 }
 
+void Supervisor::discard_preserved_image(const std::string& guest_name) {
+  const std::string region_name =
+      std::string(vmm::Vmm::kRegionPrefix) + guest_name;
+  const auto* region = host_.preserved().find(region_name);
+  if (region != nullptr &&
+      host_.faults().roll(fault::FaultKind::kPreservedRegionLeak,
+                          host_.sim().now(), "discard:" + guest_name)) {
+    // The release is lost: the frames stay reserved and the record keeps
+    // eating the preserved-frame budget until a later sweep gets to it.
+    // Renaming frees the canonical slot so the guest's next suspend can
+    // record a fresh image.
+    mm::PreservedRegion stale;
+    stale.name =
+        "stale/" + guest_name + "#" + std::to_string(host_.sim().now());
+    stale.payload = region->payload;
+    stale.frozen_frames = region->frozen_frames;
+    const std::string stale_name = stale.name;
+    host_.preserved().erase(region_name);
+    host_.preserved().put(std::move(stale));
+    trace("preserved region for '" + guest_name +
+          "' LEAKED (injected); parked as '" + stale_name + "'");
+    return;
+  }
+  discard_region(region_name);
+}
+
 void Supervisor::warm_resume_phase() {
+  // The reload rebuilt frame ownership from the registry; catch a
+  // double-owned or dropped frame here, before any guest touches its
+  // memory again.
+  ensure(host_.vmm().frame_conservation_report().ok(),
+         "Supervisor: frame conservation violated after quick reload");
+  sweep_stale_regions();
+
   // Verify every preserved image before resuming anything: a checksum
   // mismatch means that VM's image rotted in RAM, and resuming it would
   // hand the guest corrupted state. The ladder for that VM alone is a
   // fresh cold boot; its siblings still get the fast on-memory resume.
   GuestList intact;
-  GuestList corrupt;
+  const auto demoted = [this](guest::GuestOs* g) {
+    return std::find(admit_saved_.begin(), admit_saved_.end(), g) !=
+               admit_saved_.end() ||
+           std::find(admit_cold_.begin(), admit_cold_.end(), g) !=
+               admit_cold_.end();
+  };
   for (auto* g : suspendable_guests()) {
-    if (host_.vmm().preserved_image_intact(g->name())) {
+    if (demoted(g)) continue;  // takes the disk or cold path below
+    if (!host_.vmm().has_preserved_image(g->name())) {
+      // The suspend never recorded an image (injected allocation failure
+      // or a budget rejection): this VM's RAM state is gone, but only
+      // this VM's.
+      record(RecoveryAction::kPreservedImageLost, g->name(),
+             "no preserved image survived the reload; cold-booting this "
+             "VM only");
+      g->force_power_off();
+      cold_list_.push_back(g);
+    } else if (host_.vmm().preserved_image_intact(g->name())) {
       intact.push_back(g);
     } else {
-      corrupt.push_back(g);
+      record(RecoveryAction::kColdBootSingleVm, g->name(),
+             "preserved image failed its checksum; cold-booting this VM "
+             "only");
+      discard_preserved_image(g->name());
+      g->force_power_off();
+      cold_list_.push_back(g);
     }
-  }
-  for (auto* g : corrupt) {
-    record(RecoveryAction::kColdBootSingleVm, g->name(),
-           "preserved image failed its checksum; cold-booting this VM only");
-    discard_preserved_image(g->name());
-    g->force_power_off();
   }
   const int count = static_cast<int>(intact.size());
   for_each_parallel(
@@ -253,14 +445,50 @@ void Supervisor::warm_resume_phase() {
             g.name(), &g,
             [guest_done = std::move(guest_done)](DomainId) { guest_done(); });
       },
-      [this, count, corrupt] {
+      [this, count] {
         host_.note_simultaneous_creations(count);
         report_.resumed_vms = static_cast<std::size_t>(count);
-        GuestList to_boot = corrupt;
-        const GuestList drivers = driver_domain_guests();
-        to_boot.insert(to_boot.end(), drivers.begin(), drivers.end());
-        boot_cold(to_boot, [this] { finish(RebootKind::kWarm); });
+        warm_restore_demoted();
       });
+}
+
+void Supervisor::warm_restore_demoted() {
+  GuestList to_restore;
+  for (auto* g : admit_saved_) {
+    if (host_.images().find(g->name()) != nullptr) to_restore.push_back(g);
+  }
+  auto boot_rest = [this] {
+    GuestList to_boot = cold_list_;
+    const GuestList drivers = driver_domain_guests();
+    to_boot.insert(to_boot.end(), drivers.begin(), drivers.end());
+    boot_cold(to_boot, [this] { finish(RebootKind::kWarm); });
+  };
+  if (to_restore.empty()) {
+    // Nothing took the disk path (in particular: admission disabled). Go
+    // straight to the cold boots -- no extra event, the exact schedule
+    // from before admission existed.
+    boot_rest();
+    return;
+  }
+  for_each_parallel(
+      to_restore,
+      [this](guest::GuestOs& g, std::function<void()> guest_done) {
+        host_.vmm().restore_domain_from_disk(
+            g.name(), host_.images(), &g,
+            [this, &g, guest_done = std::move(guest_done)](DomainId id) {
+              if (id == kNoDomain) {
+                record(RecoveryAction::kFallbackToCold, g.name(),
+                       "demotion restore failed with a disk read error; VM "
+                       "will cold boot");
+                g.force_power_off();
+                cold_list_.push_back(&g);
+              } else {
+                ++report_.restored_vms;
+              }
+              guest_done();
+            });
+      },
+      std::move(boot_rest));
 }
 
 // ----------------------------------------------------------------- saved

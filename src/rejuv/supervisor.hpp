@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "rejuv/admission.hpp"
 #include "rejuv/reboot_driver.hpp"
 
 namespace rh::rejuv {
@@ -37,6 +38,12 @@ enum class RecoveryAction : std::uint8_t {
   kColdBootSingleVm,       ///< corrupt preserved image; that VM cold boots
   kHardwareRebootAfterCrash,  ///< VMM crashed; full reset + cold boots
   kGaveUp,                 ///< retries exhausted; VM left unrecovered
+  // --- preserved-memory pressure (DESIGN.md §9) ---
+  kBalloonReclaim,     ///< admission ballooned pages out of a VM pre-suspend
+  kCompactionPass,     ///< frames compacted before suspend
+  kDemoteToSaved,      ///< admission sent this VM down the disk path
+  kDemoteToCold,       ///< admission shut this VM down for a cold boot
+  kPreservedImageLost, ///< suspended VM came back with no image; cold boot
 };
 
 [[nodiscard]] const char* to_string(RecoveryAction a);
@@ -62,6 +69,21 @@ struct SupervisorConfig {
   /// A guest boot that has not completed after this long is declared hung
   /// and force-powered off (kGuestBootHang never completes on its own).
   sim::Duration boot_watchdog = 10 * sim::kMinute;
+  /// Preserved-memory admission control (disabled by default: no extra
+  /// work, no extra RNG draws -- pre-pressure runs stay byte-identical).
+  AdmissionConfig admission;
+};
+
+/// Preserved-memory accounting of one supervised pass.
+struct MemoryPressure {
+  bool consulted = false;            ///< admission ran this pass
+  bool pressured = false;            ///< demand exceeded the budget
+  std::int64_t budget_frames = 0;    ///< frames available for new images
+  std::int64_t demand_frames = 0;    ///< frames the VMs wanted
+  std::int64_t reclaimed_frames = 0; ///< frames ballooned out pre-suspend
+  std::int64_t compacted_frames = 0; ///< frames moved by compaction
+  std::size_t demoted_saved = 0;     ///< VMs sent down the disk path
+  std::size_t demoted_cold = 0;      ///< VMs shut down for cold boot
 };
 
 struct SupervisorReport {
@@ -82,6 +104,7 @@ struct SupervisorReport {
   std::size_t cold_booted_vms = 0;  ///< boots from scratch (state lost)
   std::vector<std::string> unrecovered_vms;
   std::vector<RecoveryEvent> recoveries;
+  MemoryPressure pressure;
 
   [[nodiscard]] std::size_t recovery_count(RecoveryAction a) const;
 };
@@ -117,7 +140,24 @@ class Supervisor {
   void attempt_xexec(int attempt);
   void warm_after_xexec();
   void warm_resume_phase();
+  void warm_restore_demoted();
   void start_saved();
+
+  // ---- preserved-memory admission (DESIGN.md §9)
+  /// Plans and executes admission before the warm suspend: balloon
+  /// reclaims (with injected-failure escalation), optional compaction
+  /// (charging moved-bytes/mem_copy_bps), then the demotions -- saves to
+  /// disk while dom0 is still up, graceful shutdowns for cold. `done`
+  /// fires when the surviving warm set is ready to suspend.
+  void run_admission(std::function<void()> done);
+  /// Demotes one more warm VM (largest first) when an executed reclaim
+  /// under-delivered; returns the freed demand (0 = nothing left).
+  std::int64_t escalate_demotion(AdmissionPlan& plan);
+  /// Post-reload housekeeping: re-attempts release of leaked stale
+  /// regions (each sweep can itself leak again under fault injection).
+  void sweep_stale_regions();
+  /// Frees a registry region's re-reserved frames and erases the record.
+  void discard_region(const std::string& region_name);
   void saved_restore_phase();
   void start_cold();
   void finish(RebootKind completed_kind);
@@ -151,6 +191,8 @@ class Supervisor {
   std::function<void(const SupervisorReport&)> done_;
   SupervisorReport report_;
   GuestList cold_list_;  ///< accumulated per-VM degradations this pass
+  GuestList admit_saved_;  ///< demoted to the disk path by admission
+  GuestList admit_cold_;   ///< demoted to cold boot by admission
   bool started_ = false;
   bool completed_ = false;
 };

@@ -13,6 +13,7 @@ Host::Host(sim::Simulation& sim, Calibration calib, std::uint64_t seed)
       machine_(sim, calib.machine),
       link_(sim, calib.link) {
   calib_.validate();
+  preserved_.set_frame_budget(calib_.preserved_frame_budget);
 }
 
 sim::Duration Host::jittered(sim::Duration d) {

@@ -90,9 +90,16 @@ void Vmm::restore_domain_from_disk(const std::string& name, ImageStore& store,
 
   // Domain creation is serialised through xend; the image read then
   // occupies the disk.
+  // Populate only as many pages as the image actually carries (its holes
+  // stay holes): a ballooned-down VM restores onto a host that cannot back
+  // its nominal size -- the overcommit case.
+  const sim::Bytes initial_allocation =
+      static_cast<sim::Bytes>(img->pages.size()) * sim::kPageSize;
   xend_.enqueue(create_duration(memory), [this, name, &store, hooks, memory,
+                                          initial_allocation,
                                           done = std::move(done)] {
-    Domain& d = make_domain(name, memory, hooks, /*privileged=*/false);
+    Domain& d = make_domain(name, memory, hooks, /*privileged=*/false,
+                            initial_allocation);
     const DomainId id = d.id();
     const auto image_bytes = static_cast<sim::Bytes>(
         static_cast<double>(memory) * calib_.xen_save_compression_ratio);
@@ -156,8 +163,11 @@ SavedImage Vmm::capture_image(DomainId id) const {
 
 void Vmm::apply_image(DomainId id, const SavedImage& img) {
   Domain& d = domain(id);
-  // Rebuild pseudo-physical shape: balloon out pages that were holes at
-  // capture time, then write back every captured page's contents.
+  // Rebuild pseudo-physical shape symmetrically: balloon out pages that
+  // were holes at capture time, populate pages the fresh domain started
+  // without (a reduced-allocation shell restoring a bigger image), then
+  // write back every captured page's contents. Releases run before
+  // allocations so the net frame demand is only the true delta.
   ensure(img.pfn_count == d.p2m().pfn_count(), "apply_image: shape mismatch");
   std::vector<bool> populated(static_cast<std::size_t>(img.pfn_count), false);
   for (const auto& [pfn, token] : img.pages) {
@@ -166,6 +176,20 @@ void Vmm::apply_image(DomainId id, const SavedImage& img) {
   for (mm::Pfn pfn = 0; pfn < img.pfn_count; ++pfn) {
     if (!populated[static_cast<std::size_t>(pfn)] && !d.p2m().is_hole(pfn)) {
       allocator_.release(d.p2m().remove(pfn));
+    }
+  }
+  std::vector<mm::Pfn> missing;
+  for (mm::Pfn pfn = 0; pfn < img.pfn_count; ++pfn) {
+    if (populated[static_cast<std::size_t>(pfn)] && d.p2m().is_hole(pfn)) {
+      missing.push_back(pfn);
+    }
+  }
+  if (!missing.empty()) {
+    const auto frames =
+        allocator_.allocate(id, static_cast<std::int64_t>(missing.size()));
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      machine_.memory().scrub(frames[i]);
+      d.p2m().add(missing[i], frames[i]);
     }
   }
   for (const auto& [pfn, token] : img.pages) {
@@ -183,8 +207,10 @@ void Vmm::restore_domain_from_image(const SavedImage& image, GuestHooks* hooks,
   auto img = std::make_shared<SavedImage>(image);
   xend_.enqueue(create_duration(img->memory_size),
                 [this, img, hooks, done = std::move(done)] {
-                  Domain& d = make_domain(img->domain_name, img->memory_size,
-                                          hooks, /*privileged=*/false);
+                  Domain& d = make_domain(
+                      img->domain_name, img->memory_size, hooks,
+                      /*privileged=*/false,
+                      static_cast<sim::Bytes>(img->pages.size()) * sim::kPageSize);
                   const DomainId id = d.id();
                   apply_image(id, *img);
                   trace("domain '" + img->domain_name +

@@ -76,12 +76,33 @@ void Vmm::suspend_domain_on_memory(DomainId id, std::function<void()> done) {
         region.payload = w.take();
         region.frozen_frames = d.p2m().mapped_frames();
         const std::string region_name = region.name;
-        preserved_.put(std::move(region));
+        // The suspend path itself needs frames (region bookkeeping, the
+        // metadata copy). Two ways that can fail: an injected allocation
+        // failure, or the registry's preserved-frame budget. Either way
+        // the domain still ends up suspended -- the guest already ran its
+        // suspend handler -- but with NO preserved image, so only a
+        // restore or cold boot can bring it back. Supervisors detect this
+        // via has_preserved_image().
+        bool recorded = false;
+        if (faults_.roll(fault::FaultKind::kFrameAllocFailure, sim_.now(),
+                         "suspend:" + d.name())) {
+          trace("domain '" + d.name() +
+                "' suspend frame allocation failed (injected); no image");
+        } else {
+          try {
+            preserved_.put(std::move(region));
+            recorded = true;
+          } catch (const mm::PreservedBudgetExceeded& e) {
+            trace("domain '" + d.name() +
+                  "' image rejected by preserved-frame budget: " + e.what());
+          }
+        }
         // Bit-rot injection: the image is recorded but a payload byte flips
         // in RAM before anyone reads it back. The stamped checksum still
         // reflects the original bytes, so resume-time verification catches
         // it (preserved_image_intact() goes false).
-        if (faults_.roll(fault::FaultKind::kCorruptPreservedImage, sim_.now(),
+        if (recorded &&
+            faults_.roll(fault::FaultKind::kCorruptPreservedImage, sim_.now(),
                          "suspend:" + d.name())) {
           preserved_.corrupt_payload(region_name);
           trace("domain '" + d.name() +
@@ -116,6 +137,10 @@ void Vmm::suspend_all_on_memory(std::function<void()> done) {
       if (--*remaining == 0) (*shared_done)();
     });
   }
+}
+
+bool Vmm::has_preserved_image(const std::string& name) const {
+  return preserved_.contains(std::string(kRegionPrefix) + name);
 }
 
 bool Vmm::preserved_image_intact(const std::string& name) const {

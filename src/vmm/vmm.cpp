@@ -1,6 +1,8 @@
 #include "vmm/vmm.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 #include <utility>
 
 #include "simcore/check.hpp"
@@ -51,20 +53,41 @@ void Vmm::reserve_preserved_regions() {
   // is dishonoured (ablation), frozen frames stay free and are handed out
   // or scrubbed -- the corruption quick reload exists to prevent.
   if (mode_ != BootMode::kQuickReload || !calib_.honor_preserved_regions) return;
+  // Claim every region's frozen frames before allocating any metadata
+  // frames: a metadata allocation placed first could grab a later region's
+  // still-free frozen frames and turn a healthy reload into a claim
+  // conflict.
+  for (const auto& name : preserved_.names()) {
+    allocator_.claim(kVmmOwner, preserved_.find(name)->frozen_frames);
+  }
+  // Frames backing the serialised metadata itself. Whatever those frames
+  // held before is overwritten by the metadata copy. Under pressure this
+  // allocation can fail (stale leaked regions, or -- in contiguous mode --
+  // fragmentation); the region is then dropped: its frozen claim is
+  // released and the record erased, and the resume path reports the VM as
+  // having lost its image rather than the whole reload failing.
+  std::vector<std::string> dropped;
   for (const auto& name : preserved_.names()) {
     const auto* region = preserved_.find(name);
-    allocator_.claim(kVmmOwner, region->frozen_frames);
-    // Frames backing the serialised metadata itself. Whatever those frames
-    // held before is overwritten by the metadata copy.
     const auto meta_frames =
         (static_cast<std::int64_t>(region->payload.size()) + sim::kPageSize - 1) /
         sim::kPageSize;
-    for (const auto mfn : allocator_.allocate(kVmmOwner, meta_frames)) {
-      machine_.memory().scrub(mfn);
+    try {
+      const auto got = calib_.contiguous_preserved_metadata
+                           ? allocator_.allocate_contiguous(kVmmOwner, meta_frames)
+                           : allocator_.allocate(kVmmOwner, meta_frames);
+      for (const auto mfn : got) machine_.memory().scrub(mfn);
+    } catch (const mm::OutOfMachineMemory& e) {
+      for (const auto mfn : region->frozen_frames) allocator_.release(mfn);
+      dropped.push_back(name);
+      trace("dropped preserved region '" + name + "' at reload: " + e.what());
     }
   }
+  for (const auto& name : dropped) preserved_.erase(name);
   trace("re-reserved " + std::to_string(preserved_.size()) +
-        " preserved region(s)");
+        " preserved region(s)" +
+        (dropped.empty() ? std::string()
+                         : " (dropped " + std::to_string(dropped.size()) + ")"));
 }
 
 void Vmm::build_dom0() {
@@ -120,17 +143,25 @@ void Vmm::boot_instantly() {
 }
 
 Domain& Vmm::make_domain(const std::string& name, sim::Bytes memory,
-                         GuestHooks* hooks, bool privileged) {
+                         GuestHooks* hooks, bool privileged,
+                         sim::Bytes initial_allocation) {
   ensure(find_domain_by_name(name) == nullptr,
          "Vmm: domain '" + name + "' already exists");
+  ensure(initial_allocation >= 0 && initial_allocation <= memory,
+         "Vmm: initial_allocation out of [0, memory]");
   const DomainId id = next_domain_id_++;
   // Per-domain hypervisor structures live on the (small) VMM heap; this is
   // the allocation that an aged, leaking heap eventually fails.
   heap_.allocate("domain/" + name, kDomainHeapCost);
   auto dom = std::make_unique<Domain>(id, name, memory, privileged);
   const auto pages = Domain::pages_for(memory);
-  const auto frames = allocator_.allocate(id, pages);
-  for (mm::Pfn pfn = 0; pfn < pages; ++pfn) {
+  // Xen's memory= < maxmem= boot: the P2M spans all `pages` nominal PFNs
+  // but only the lowest `populated` get machine frames; the top PFNs start
+  // as balloon holes (0 == populate everything).
+  const auto populated =
+      initial_allocation == 0 ? pages : Domain::pages_for(initial_allocation);
+  const auto frames = allocator_.allocate(id, populated);
+  for (mm::Pfn pfn = 0; pfn < populated; ++pfn) {
     const auto mfn = frames[static_cast<std::size_t>(pfn)];
     // Pages are scrubbed before being handed to a domain (isolation: no
     // stale data crosses domains).
@@ -191,19 +222,23 @@ void Vmm::note_domain_op() {
 }
 
 void Vmm::create_domain(const std::string& name, sim::Bytes memory,
-                        GuestHooks* hooks, std::function<void(DomainId)> done) {
+                        GuestHooks* hooks, std::function<void(DomainId)> done,
+                        sim::Bytes initial_allocation) {
   ensure(static_cast<bool>(done), "Vmm::create_domain: callback required");
   xend_.enqueue(create_duration(memory),
-                [this, name, memory, hooks, done = std::move(done)] {
-                  Domain& d = make_domain(name, memory, hooks, false);
+                [this, name, memory, hooks, initial_allocation,
+                 done = std::move(done)] {
+                  Domain& d =
+                      make_domain(name, memory, hooks, false, initial_allocation);
                   d.set_state(DomainState::kRunning);
                   done(d.id());
                 });
 }
 
 DomainId Vmm::create_domain_now(const std::string& name, sim::Bytes memory,
-                                GuestHooks* hooks) {
-  Domain& d = make_domain(name, memory, hooks, false);
+                                GuestHooks* hooks,
+                                sim::Bytes initial_allocation) {
+  Domain& d = make_domain(name, memory, hooks, false, initial_allocation);
   d.set_state(DomainState::kRunning);
   return d.id();
 }
@@ -269,6 +304,74 @@ sim::Bytes Vmm::trigger_error_path() {
     trace("error path executed: leaked " + std::to_string(leak) + " bytes");
   }
   return leak;
+}
+
+std::int64_t Vmm::compact_memory() {
+  // Min-heap of free MFNs: each relocation consumes the lowest candidate
+  // and returns the vacated (higher) frame to the pool, so later pages can
+  // slide into it. Iteration order -- domains ascending by id, PFNs
+  // ascending -- is fixed, so the pass is deterministic.
+  std::priority_queue<hw::FrameNumber, std::vector<hw::FrameNumber>,
+                      std::greater<hw::FrameNumber>>
+      free_pool;
+  for (const auto mfn : allocator_.free_frame_list()) free_pool.push(mfn);
+  std::int64_t moved = 0;
+  for (auto& [id, dom] : domains_) {
+    if (dom->state() == DomainState::kDead) continue;
+    const auto pages = dom->p2m().pfn_count();
+    for (mm::Pfn pfn = 0; pfn < pages; ++pfn) {
+      const auto mfn = dom->p2m().mfn_of(pfn);
+      if (mfn == mm::kNoFrame) continue;
+      if (free_pool.empty() || free_pool.top() >= mfn) continue;
+      const hw::FrameNumber target = free_pool.top();
+      free_pool.pop();
+      const hw::FrameNumber single[] = {target};
+      allocator_.claim(id, single);
+      machine_.memory().write(target, machine_.memory().read(mfn));
+      dom->p2m().remove(pfn);
+      dom->p2m().add(pfn, target);
+      allocator_.release(mfn);
+      free_pool.push(mfn);
+      ++moved;
+    }
+  }
+  if (moved > 0) trace("compaction moved " + std::to_string(moved) + " frames");
+  return moved;
+}
+
+Vmm::ConservationReport Vmm::frame_conservation_report() const {
+  ConservationReport r;
+  r.allocator_consistent = allocator_.accounting_ok();
+  r.registry_frames = preserved_.reserved_frames();
+  // Every frozen frame recorded in the registry must be held by the VMM
+  // itself -- neither free (the scrubber would eat it) nor handed to a
+  // domain (double ownership).
+  r.frozen_frames_reserved = true;
+  for (const auto mfn : preserved_.all_frozen_frames()) {
+    if (allocator_.owner_of(mfn) != kVmmOwner) {
+      r.frozen_frames_reserved = false;
+      break;
+    }
+  }
+  // Every live domain's mapped MFNs must be owned by that domain, and its
+  // allocator count must equal its populated page count -- no orphaned or
+  // shared frames.
+  r.p2m_ownership_consistent = true;
+  for (const auto& [id, dom] : domains_) {
+    if (dom->state() == DomainState::kDead) continue;
+    if (allocator_.owned_frames(id) != dom->p2m().populated()) {
+      r.p2m_ownership_consistent = false;
+      break;
+    }
+    for (const auto mfn : dom->p2m().mapped_frames()) {
+      if (allocator_.owner_of(mfn) != id) {
+        r.p2m_ownership_consistent = false;
+        break;
+      }
+    }
+    if (!r.p2m_ownership_consistent) break;
+  }
+  return r;
 }
 
 void Vmm::guest_write(DomainId id, mm::Pfn pfn, hw::ContentToken token) {

@@ -86,12 +86,21 @@ class Vmm {
   /// Creates a domain through the management queue (xend): allocates
   /// machine frames, builds the P2M table, charges the hypervisor heap.
   /// `done` receives the new domain's id once the operation completes.
+  ///
+  /// `initial_allocation` models Xen's memory= < maxmem= reduced-allocation
+  /// boot: the P2M table spans the full nominal `memory`, but only the
+  /// lowest pages_for(initial_allocation) PFNs are populated with machine
+  /// frames -- the rest start as balloon holes. 0 (the default) populates
+  /// everything. This is what lets an overcommitted VM cold-boot on a host
+  /// that cannot back its nominal size.
   void create_domain(const std::string& name, sim::Bytes memory,
-                     GuestHooks* hooks, std::function<void(DomainId)> done);
+                     GuestHooks* hooks, std::function<void(DomainId)> done,
+                     sim::Bytes initial_allocation = 0);
 
   /// Immediate variant for tests and setup code (no xend delay).
   DomainId create_domain_now(const std::string& name, sim::Bytes memory,
-                             GuestHooks* hooks);
+                             GuestHooks* hooks,
+                             sim::Bytes initial_allocation = 0);
 
   /// Destroys a domain: releases its frames, frees (and possibly leaks)
   /// hypervisor heap.
@@ -124,6 +133,14 @@ class Vmm {
 
   /// Names of domains with preserved in-memory images.
   [[nodiscard]] std::vector<std::string> preserved_domain_names() const;
+
+  /// Whether a preserved in-memory image exists for `name`. Under memory
+  /// pressure a suspend can complete without recording one (budget
+  /// exhaustion or an injected frame-allocation failure), and a quick
+  /// reload can drop one it cannot re-reserve -- so resume paths must
+  /// check this before preserved_image_intact(), which hard-requires
+  /// existence.
+  [[nodiscard]] bool has_preserved_image(const std::string& name) const;
 
   /// Whether the named domain's preserved image still passes its checksum.
   /// The supervised resume path verifies this before resuming; a mismatch
@@ -178,6 +195,36 @@ class Vmm {
   /// the bytes leaked.
   sim::Bytes trigger_error_path();
 
+  // -------------------------------------------- memory-pressure plumbing
+
+  /// Relocates live domains' machine frames to the lowest free MFNs,
+  /// copying contents and rewriting P2M entries. Defragments machine
+  /// memory so the frames a subsequent suspend freezes in place -- and the
+  /// free runs the incoming VMM needs for contiguous metadata -- are
+  /// compact. Takes zero simulated time itself; callers charge
+  /// moved-bytes / Calibration::mem_copy_bps (the Supervisor records the
+  /// pass as a kCompactionPass RecoveryEvent). Returns frames moved.
+  std::int64_t compact_memory();
+
+  /// Frame-conservation invariant snapshot; see ConservationReport.
+  struct ConservationReport {
+    bool allocator_consistent = false;  ///< counters agree with owner map
+    bool frozen_frames_reserved = false;  ///< registry frames VMM-owned
+    bool p2m_ownership_consistent = false;  ///< mapped MFNs owned by mapper
+    std::int64_t registry_frames = 0;  ///< preserved_.reserved_frames()
+    [[nodiscard]] bool ok() const {
+      return allocator_consistent && frozen_frames_reserved &&
+             p2m_ownership_consistent;
+    }
+  };
+
+  /// Cross-checks frame ownership between the allocator, the preserved
+  /// registry and every live domain's P2M table: no double-ownership, no
+  /// unreserved frozen frame, no miscounted owner. The Supervisor runs
+  /// this after every quick reload (the reload is exactly where ownership
+  /// is rebuilt from the registry, so it is where conservation can break).
+  [[nodiscard]] ConservationReport frame_conservation_report() const;
+
   // ------------------------------------------------------ introspection
 
   [[nodiscard]] VmmHeap& heap() { return heap_; }
@@ -203,8 +250,10 @@ class Vmm {
   friend class SuspendMechanism;
 
   /// Shared domain-construction bookkeeping (allocates frames, heap).
+  /// `initial_allocation` as in create_domain (0 == populate fully).
   Domain& make_domain(const std::string& name, sim::Bytes memory,
-                      GuestHooks* hooks, bool privileged);
+                      GuestHooks* hooks, bool privileged,
+                      sim::Bytes initial_allocation = 0);
 
   /// Writes an image's shape and contents into an existing fresh domain.
   void apply_image(DomainId id, const SavedImage& img);

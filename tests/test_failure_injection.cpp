@@ -102,7 +102,7 @@ TEST(FailureInjection, TamperedPreservedPayloadIsRejected) {
   ASSERT_NE(region, nullptr);
   mm::PreservedRegion corrupted = *region;
   corrupted.payload.resize(corrupted.payload.size() / 2);
-  fx.host->preserved().put(std::move(corrupted));
+  fx.host->preserved().replace(std::move(corrupted));
 
   // The record is parsed when the (xend-serialised) resume executes.
   bool resumed = false;

@@ -27,13 +27,21 @@ TEST(PreservedRegistry, PutFindErase) {
   EXPECT_TRUE(reg.empty());
 }
 
-TEST(PreservedRegistry, PutReplacesByName) {
+TEST(PreservedRegistry, PutRejectsDuplicatesAndReplaceOverwrites) {
   mm::PreservedRegionRegistry reg;
   reg.put(make_region("x", 10, {1}));
-  reg.put(make_region("x", 20, {2, 3}));
+  // A silent overwrite would leak the old region's frozen frames (still
+  // claimed in the allocator, nobody left to release them), so put() on
+  // an existing name refuses; replace() is the deliberate overwrite.
+  EXPECT_THROW(reg.put(make_region("x", 20, {2, 3})), InvariantViolation);
+  EXPECT_EQ(reg.find("x")->payload.size(), std::size_t{10});
+  reg.replace(make_region("x", 20, {2, 3}));
   EXPECT_EQ(reg.size(), std::size_t{1});
   EXPECT_EQ(reg.find("x")->payload.size(), std::size_t{20});
+  EXPECT_TRUE(reg.intact("x"));
   EXPECT_EQ(reg.names(), std::vector<std::string>{"x"});
+  // replace() of an absent name is a bug, not an insert.
+  EXPECT_THROW(reg.replace(make_region("y", 5, {})), InvariantViolation);
 }
 
 TEST(PreservedRegistry, NamesKeepInsertionOrder) {
