@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Soft perf-regression gate over the checked-in bench JSONs.
+
+Compares a freshly generated BENCH_sched.json / BENCH_runner.json against
+the committed ones and exits non-zero when the geometric-mean throughput
+ratio (fresh / baseline) drops by more than the threshold (default 15 %).
+
+Only metrics present in BOTH files are compared, so CI smoke runs (tiny
+budgets, fewer thread points) still line up with the full checked-in
+sweeps. CI wires this as a soft gate (continue-on-error): shared runners
+are too noisy for a hard fail, but the log line makes a real regression
+visible the day it lands.
+
+Usage:
+  check_regression.py [--baseline-dir DIR] [--fresh-dir DIR]
+                      [--threshold 0.15]
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"  [skip] {path}: {e}")
+        return None
+
+
+def sched_metrics(doc):
+    """workload name -> calendar-queue events/s."""
+    out = {}
+    for w in doc.get("workloads", []):
+        eps = w.get("calendar_queue", {}).get("events_per_sec")
+        if eps:
+            out[f"sched/{w['name']}"] = float(eps)
+    return out
+
+
+def runner_metrics(doc):
+    """thread count -> speedup vs sequential (portable across machines,
+    unlike raw wall seconds)."""
+    out = {}
+    for s in doc.get("scaling", []):
+        sp = s.get("speedup_vs_sequential")
+        if sp and s.get("threads"):
+            out[f"runner/threads={s['threads']}"] = float(sp)
+    return out
+
+
+def compare(name, baseline, fresh, extract):
+    if baseline is None or fresh is None:
+        return []
+    base, new = extract(baseline), extract(fresh)
+    pairs = []
+    for key in sorted(base.keys() & new.keys()):
+        ratio = new[key] / base[key]
+        pairs.append((key, ratio))
+        print(f"  {key:<28} baseline {base[key]:>12.2f}  "
+              f"fresh {new[key]:>12.2f}  ratio {ratio:.3f}")
+    if not pairs:
+        print(f"  [skip] {name}: no comparable metrics")
+    return pairs
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline-dir", default=".",
+                    help="directory holding the checked-in BENCH_*.json")
+    ap.add_argument("--fresh-dir", default=".",
+                    help="directory holding the freshly generated ones")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max tolerated geomean regression (0.15 = 15%%)")
+    args = ap.parse_args()
+
+    suites = [
+        ("BENCH_sched.json", sched_metrics),
+        ("BENCH_runner.json", runner_metrics),
+    ]
+    pairs = []
+    for fname, extract in suites:
+        print(f"{fname}:")
+        pairs += compare(
+            fname,
+            load(os.path.join(args.baseline_dir, fname)),
+            load(os.path.join(args.fresh_dir, fname)),
+            extract,
+        )
+    if not pairs:
+        print("nothing to compare; passing")
+        return 0
+
+    geomean = math.exp(sum(math.log(r) for _, r in pairs) / len(pairs))
+    floor = 1.0 - args.threshold
+    print(f"\ngeomean throughput ratio (fresh/baseline): {geomean:.3f} "
+          f"over {len(pairs)} metrics (floor {floor:.2f})")
+    if geomean < floor:
+        worst = min(pairs, key=lambda p: p[1])
+        print(f"REGRESSION: geomean below floor; worst metric "
+              f"{worst[0]} at {worst[1]:.3f}")
+        return 1
+    print("OK: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

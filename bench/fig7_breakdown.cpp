@@ -9,9 +9,11 @@
 // 43 s hardware reset, 63 s of OS shutdown+boot, and an ~8 s post-reboot
 // dip from file-cache misses.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "bench_util.hpp"
+#include "obs/observer.hpp"
 #include "workload/http_client.hpp"
 #include "workload/throughput_recorder.hpp"
 
@@ -20,8 +22,41 @@ namespace {
 using namespace rh;
 using bench::Testbed;
 
+/// The breakdown as recorded by the observability layer: the kStep
+/// children of the driver's pass span, in open order. Cross-checked
+/// against the driver's own bespoke accounting -- the span tree and
+/// RebootDriver::breakdown() must agree to the microsecond, or the
+/// instrumentation has drifted from the control flow it claims to mirror.
+std::vector<const obs::SpanRecord*> span_breakdown(
+    const obs::SpanRecorder& spans, const rejuv::RebootDriver& driver) {
+  obs::SpanId pass = obs::kNoSpan;
+  for (std::size_t i = 0; i < spans.records().size(); ++i) {
+    if (spans.records()[i].phase == obs::Phase::kPass) {
+      pass = static_cast<obs::SpanId>(i);
+    }
+  }
+  ensure(pass != obs::kNoSpan, "fig7: no pass span recorded");
+  std::vector<const obs::SpanRecord*> steps;
+  for (obs::SpanId c : spans.children_of(pass)) {
+    if (spans.records()[c].phase == obs::Phase::kStep) {
+      steps.push_back(&spans.records()[c]);
+    }
+  }
+  const auto& legacy = driver.breakdown();
+  ensure(steps.size() == legacy.size(),
+         "fig7: span step count != driver breakdown count");
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    ensure(steps[i]->start == legacy[i].start &&
+               steps[i]->end == legacy[i].end &&
+               std::strcmp(steps[i]->label, legacy[i].label.c_str()) == 0,
+           "fig7: span step disagrees with driver breakdown");
+  }
+  return steps;
+}
+
 void run(rejuv::RebootKind kind) {
   Testbed tb;
+  tb.host->obs().set_enabled(true);
   // 11 VMs; vm0 additionally runs the Apache server under test.
   tb.add_vm("vm0", sim::kGiB, Testbed::ServiceMix::kApache);
   for (int i = 1; i < 11; ++i) {
@@ -53,10 +88,10 @@ void run(rejuv::RebootKind kind) {
 
   std::printf("\n--- %s ---\n", rejuv::to_string(kind));
   std::printf("  operation breakdown (reboot command at t=20 s):\n");
-  for (const auto& s : driver->breakdown()) {
-    std::printf("    %-36s t=%6.1f .. %6.1f  (%6.2f s)\n", s.label.c_str(),
-                sim::to_seconds(s.start - t0), sim::to_seconds(s.end - t0),
-                sim::to_seconds(s.duration()));
+  for (const auto* s : span_breakdown(tb.host->obs().spans(), *driver)) {
+    std::printf("    %-36s t=%6.1f .. %6.1f  (%6.2f s)\n", s->label,
+                sim::to_seconds(s->start - t0), sim::to_seconds(s->end - t0),
+                sim::to_seconds(s->duration()));
   }
 
   const auto& rec = fleet.completions();

@@ -6,12 +6,16 @@
 // load balancer through a rolling warm rejuvenation and reports the
 // observed throughput dip.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/throughput_model.hpp"
 #include "cluster/vm_migrator.hpp"
 #include "guest/sshd.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -58,13 +62,16 @@ struct SimRow {
   std::uint64_t deferred = 0;
 };
 
-SimRow simulated_once(std::uint64_t seed) {
+SimRow simulated_once(std::uint64_t seed, const std::string& trace_path = "") {
   sim::Simulation s;
   cluster::Cluster::Config cfg;
   cfg.hosts = 3;
   cfg.vms_per_host = 4;
   cfg.seed = seed;
   cfg.calib.timing_jitter = bench::g_replication_jitter;
+  // Observability is free when off and RNG-free when on, so the --trace
+  // run measures the same numbers as the default one.
+  cfg.observe = !trace_path.empty();
   cluster::Cluster cl(s, cfg);
   bool ready = false;
   cl.start([&ready] { ready = true; });
@@ -95,6 +102,13 @@ SimRow simulated_once(std::uint64_t seed) {
     row.longest_host_s = std::max(row.longest_host_s, sim::to_seconds(d));
   }
   row.deferred = cl.balancer().rejected();
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    obs::ChromeTraceWriter writer(os);
+    for (int h = 0; h < cfg.hosts; ++h) {
+      writer.add_process(h, "host" + std::to_string(h), cl.host(h).obs());
+    }
+  }
   return row;
 }
 
@@ -176,7 +190,20 @@ MigrationRow migration_based_once(sim::Rng rng) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = rh::bench::SweepOptions::parse(argc, argv);
+  // --trace FILE: additionally run one observed cluster pass and write a
+  // Perfetto-loadable Chrome trace there. Stripped before SweepOptions so
+  // the default invocation (and its output) is untouched.
+  std::string trace_path;
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const auto opt = rh::bench::SweepOptions::parse(
+      static_cast<int>(rest.size()), rest.data());
   rh::bench::print_header(
       "Figure 9 / Section 6: cluster throughput during rejuvenation");
   using rh::bench::fmt_ci;
@@ -209,6 +236,11 @@ int main(int argc, char** argv) {
   std::printf("    service downtime at the load balancer: zero requests were "
               "permanently failed; %s were deferred and retried\n",
               fmt_ci(sg.mean(kDeferred), sg.ci95(kDeferred), "%.0f").c_str());
+  if (!trace_path.empty()) {
+    simulated_once(opt.root_seed, trace_path);
+    std::printf("    wrote Chrome trace of one observed pass to %s\n",
+                trace_path.c_str());
+  }
 
   // Migration-based rejuvenation (the paper's future work), replicated.
   enum { kTotalMin, kWorstDt };

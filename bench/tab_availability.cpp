@@ -15,9 +15,11 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "rejuv/availability.hpp"
 #include "rejuv/policy.hpp"
 #include "rejuv/supervisor.hpp"
@@ -96,10 +98,14 @@ double simulate_availability(rejuv::RebootKind kind, std::uint64_t seed) {
 /// Per-VM availability over a one-hour window containing one *supervised*
 /// rejuvenation, with every mechanism failing at `rate`. VMs the recovery
 /// ladder cannot bring back stay down to the end of the window, so their
-/// loss shows up as availability, not as a hang.
-double supervised_availability(rejuv::RebootKind kind, double rate,
-                               std::uint64_t seed) {
+/// loss shows up as availability, not as a hang. The host's observer is
+/// enabled so the supervisor's recovery-action counters ride back in the
+/// result's metrics registry (merged per point by the exp::Reducer).
+exp::ReplicationResult supervised_replication(rejuv::RebootKind kind,
+                                              double rate,
+                                              std::uint64_t seed) {
   Testbed tb(seed);
+  tb.host->obs().set_enabled(true);
   tb.add_vms(4, sim::kGiB, Testbed::ServiceMix::kJboss);
   std::vector<std::unique_ptr<workload::Prober>> probers;
   for (auto& g : tb.guests) {
@@ -127,7 +133,28 @@ double supervised_availability(rejuv::RebootKind kind, double rate,
   }
   const double window =
       static_cast<double>(end - start) * static_cast<double>(probers.size());
-  return 1.0 - downtime / window;
+  exp::ReplicationResult out;
+  out.values = {1.0 - downtime / window};
+  out.metrics = std::move(tb.host->obs().metrics());
+  return out;
+}
+
+/// Sums the "supervisor.recovery.*" counters of one point's merged
+/// registry, optionally rendering each action as "name xN".
+std::uint64_t recovery_actions(const obs::MetricsRegistry& m,
+                               std::string* rendered) {
+  constexpr std::string_view kPrefix = "supervisor.recovery.";
+  std::uint64_t total = 0;
+  for (const auto& c : m.counters()) {
+    if (c.name.rfind(kPrefix, 0) != 0 || c.value == 0) continue;
+    total += c.value;
+    if (rendered != nullptr) {
+      if (!rendered->empty()) *rendered += ", ";
+      *rendered += c.name.substr(kPrefix.size()) + " x" +
+                   std::to_string(c.value);
+    }
+  }
+  return total;
 }
 
 void run_fault_sweep(const std::vector<double>& rates,
@@ -148,10 +175,8 @@ void run_fault_sweep(const std::vector<double>& rates,
   for (std::size_t k = 0; k < 3; ++k) {
     grids[k] = exp::run_grid(
         opt.grid(rates.size()), [&, k](const exp::ReplicationContext& ctx) {
-          exp::ReplicationResult out;
-          out.values = {supervised_availability(
-              kinds[k], rates[ctx.point_index], ctx.seed)};
-          return out;
+          return supervised_replication(kinds[k], rates[ctx.point_index],
+                                        ctx.seed);
         });
   }
   std::printf("  %-12s %-22s %-22s %-22s\n", "fault rate", "warm", "saved",
@@ -165,6 +190,20 @@ void run_fault_sweep(const std::vector<double>& rates,
                       .c_str());
     }
     std::printf("\n");
+  }
+
+  std::printf("\n  supervisor recovery actions (summed over %zu replications, "
+              "read from the\n  merged observer metrics, not bespoke "
+              "accounting):\n", opt.reps);
+  const char* kind_names[] = {"warm", "saved", "cold"};
+  for (std::size_t p = 0; p < rates.size(); ++p) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      std::string line;
+      recovery_actions(grids[k].point(p).merged_metrics(), &line);
+      if (line.empty()) line = "none";
+      std::printf("  rate %-7.3f %-6s %s\n", rates[p], kind_names[k],
+                  line.c_str());
+    }
   }
 
   if (out_path.empty()) return;
@@ -181,9 +220,12 @@ void run_fault_sweep(const std::vector<double>& rates,
     const char* names[] = {"warm", "saved", "cold"};
     for (std::size_t k = 0; k < 3; ++k) {
       std::snprintf(buf, sizeof buf,
-                    ", \"%s_availability\": %.8f, \"%s_ci95\": %.8f",
+                    ", \"%s_availability\": %.8f, \"%s_ci95\": %.8f"
+                    ", \"%s_recovery_actions\": %llu",
                     names[k], grids[k].point(p).mean(0), names[k],
-                    grids[k].point(p).ci95(0));
+                    grids[k].point(p).ci95(0), names[k],
+                    static_cast<unsigned long long>(recovery_actions(
+                        grids[k].point(p).merged_metrics(), nullptr)));
       json += buf;
     }
     json += p + 1 < rates.size() ? "},\n" : "}\n";

@@ -19,6 +19,7 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
     // zero) before any other per-host RNG use, so the fault substream is
     // a fixed function of the host seed alone.
     hosts_.back()->configure_faults(config_.faults);
+    if (config_.observe) hosts_.back()->obs().set_enabled(true);
     guests_.emplace_back();
     for (int v = 0; v < config_.vms_per_host; ++v) {
       auto g = std::make_unique<guest::GuestOs>(
@@ -94,10 +95,21 @@ void Cluster::rejuvenate_from(std::size_t host_index, rejuv::RebootKind kind,
     on_done();
     return;
   }
+  vmm::Host& h = *hosts_[host_index];
+  obs::SpanId turn = obs::kNoSpan;
+  if (h.obs().enabled()) {
+    turn = h.obs().span_open(sim_.now(), obs::Phase::kRollingPass,
+                             "rolling turn host " + std::to_string(host_index));
+    h.obs().set_ambient(turn);
+  }
   active_driver_ = rejuv::make_reboot_driver(
-      kind, *hosts_[host_index], guests_of(static_cast<int>(host_index)));
-  active_driver_->run([this, host_index, kind, on_done = std::move(on_done)]() mutable {
+      kind, h, guests_of(static_cast<int>(host_index)));
+  active_driver_->run([this, host_index, kind, turn,
+                       on_done = std::move(on_done)]() mutable {
     durations_.push_back(active_driver_->total_duration());
+    vmm::Host& done_host = *hosts_[host_index];
+    done_host.obs().span_close(turn, sim_.now());
+    done_host.obs().set_ambient(obs::kNoSpan);
     rejuvenate_from(host_index + 1, kind, std::move(on_done));
   });
 }
@@ -132,11 +144,20 @@ void Cluster::supervise_from(std::size_t host_index,
     }
     return;
   }
+  vmm::Host& h = *hosts_[host_index];
+  obs::SpanId turn = obs::kNoSpan;
+  if (h.obs().enabled()) {
+    turn = h.obs().span_open(sim_.now(), obs::Phase::kRollingPass,
+                             "rolling turn host " + std::to_string(host_index));
+    h.obs().set_ambient(turn);
+  }
   active_supervisor_ = std::make_unique<rejuv::Supervisor>(
-      *hosts_[host_index], guests_of(static_cast<int>(host_index)),
-      supervision_.supervisor);
-  active_supervisor_->run([this, host_index, on_done = std::move(on_done)](
+      h, guests_of(static_cast<int>(host_index)), supervision_.supervisor);
+  active_supervisor_->run([this, host_index, turn,
+                           on_done = std::move(on_done)](
                               const rejuv::SupervisorReport& report) mutable {
+    hosts_[host_index]->obs().span_close(turn, sim_.now());
+    hosts_[host_index]->obs().set_ambient(obs::kNoSpan);
     rolling_report_.passes.push_back(report);
     durations_.push_back(report.total_duration());
     if (!report.success) {

@@ -29,6 +29,11 @@ class Cluster {
     /// Per-host fault plan. All-zero (the default) arms nothing and draws
     /// nothing, so fault-free clusters reproduce historical runs exactly.
     fault::FaultConfig faults;
+    /// Enables every host's typed observer (events/spans/metrics) plus the
+    /// cluster-level rolling-pass spans. Off by default: disabled
+    /// observability is one predicted branch per site and the run stays
+    /// byte-identical to pre-observability builds.
+    bool observe = false;
   };
 
   /// Knobs for the supervised rolling pass (rolling_rejuvenation_supervised).

@@ -34,9 +34,19 @@ void VmMigrator::migrate(guest::GuestOs& vm, vmm::Host& dst,
   result_ = {};
   src.set_background_transfer(true);
   dst.set_background_transfer(true);
-  src.tracer().emit(src.sim().now(), "migrate",
-                    "live migration of '" + vm.name() + "' begins (" +
-                        std::to_string(sim::to_gib(vm.memory())) + " GiB)");
+  if (src.tracer().enabled()) {
+    src.tracer().emit(src.sim().now(), "migrate",
+                      "live migration of '" + vm.name() + "' begins (" +
+                          std::to_string(sim::to_gib(vm.memory())) + " GiB)");
+  }
+  // The migration span (and its pre-copy/stop-and-copy children) live in
+  // the *source* host's observer: that host carries the transfer.
+  if (src.obs().enabled()) {
+    outer_ambient_ = src.obs().ambient();
+    migration_span_ = src.obs().span_open(
+        started_at_, obs::Phase::kMigration, "migrate " + vm.name());
+    src.obs().set_ambient(migration_span_);
+  }
   precopy_round(vm.memory());
 }
 
@@ -57,10 +67,17 @@ void VmMigrator::precopy_round(sim::Bytes to_send) {
   // The VM keeps running and dirtying memory while this round streams at
   // the migration algorithm's (rate-limited) effective bandwidth.
   const sim::SimTime round_start = src_->sim().now();
+  obs::SpanId round_span = obs::kNoSpan;
+  if (src_->obs().enabled()) {
+    round_span = src_->obs().span_open_under(
+        round_start, obs::Phase::kPreCopyRound,
+        "pre-copy round " + std::to_string(rounds_), migration_span_);
+  }
   src_->link().bulk_transfer_at(to_send, config_.effective_bps,
-                                [this, to_send, round_start] {
+                                [this, to_send, round_start, round_span] {
     transferred_ += to_send;
     ++rounds_;
+    src_->obs().span_close(round_span, src_->sim().now());
     const auto elapsed = src_->sim().now() - round_start;
     const auto dirtied = static_cast<sim::Bytes>(
         sim::to_seconds(elapsed) * config_.dirty_bps);
@@ -73,6 +90,9 @@ void VmMigrator::stop_and_copy(sim::Bytes residue) {
   // warm-VM reboot uses, capture its state, ship the residue, rebuild on
   // the destination.
   suspended_at_ = src_->sim().now();
+  stop_copy_span_ = src_->obs().span_open_under(
+      suspended_at_, obs::Phase::kStopAndCopy, "stop-and-copy",
+      migration_span_);
   const DomainId src_id = vm_->domain_id();
   src_->vmm().suspend_domain_on_memory(src_id, [this, src_id, residue] {
     auto image = src_->vmm().capture_image(src_id);
@@ -104,8 +124,21 @@ void VmMigrator::abort(const std::string& why) {
   result_.estimate.bytes_transferred = transferred_;
   src_->set_background_transfer(false);
   dst_->set_background_transfer(false);
-  src_->tracer().emit(src_->sim().now(), "migrate",
-                      "migration of '" + vm_->name() + "' ABORTED: " + why);
+  if (src_->tracer().enabled()) {
+    src_->tracer().emit(src_->sim().now(), "migrate",
+                        "migration of '" + vm_->name() + "' ABORTED: " + why);
+  }
+  obs::Observer& obs = src_->obs();
+  if (obs.enabled()) {
+    obs.emit(src_->sim().now(), obs::Category::kMigrate,
+             obs::EventKind::kDomain, "migration aborted", -1,
+             static_cast<std::uint64_t>(rounds_),
+             static_cast<std::uint64_t>(transferred_));
+    obs.span_close(migration_span_, src_->sim().now());
+    obs.set_ambient(outer_ambient_);
+    migration_span_ = obs::kNoSpan;
+    ++obs.metrics().counter("migrate.aborted");
+  }
   in_progress_ = false;
   auto done = std::move(done_);
   done(result_);
@@ -120,12 +153,26 @@ void VmMigrator::finish() {
   result_.observed_downtime = src_->sim().now() - suspended_at_;
   src_->set_background_transfer(false);
   dst_->set_background_transfer(false);
-  src_->tracer().emit(src_->sim().now(), "migrate",
-                      "'" + vm_->name() + "' migrated in " +
-                          std::to_string(sim::to_seconds(result_.estimate.total)) +
-                          " s (downtime " +
-                          std::to_string(sim::to_seconds(result_.observed_downtime)) +
-                          " s)");
+  if (src_->tracer().enabled()) {
+    src_->tracer().emit(src_->sim().now(), "migrate",
+                        "'" + vm_->name() + "' migrated in " +
+                            std::to_string(sim::to_seconds(result_.estimate.total)) +
+                            " s (downtime " +
+                            std::to_string(sim::to_seconds(result_.observed_downtime)) +
+                            " s)");
+  }
+  obs::Observer& obs = src_->obs();
+  if (obs.enabled()) {
+    obs.span_close(stop_copy_span_, src_->sim().now());
+    obs.span_close(migration_span_, src_->sim().now());
+    obs.set_ambient(outer_ambient_);
+    stop_copy_span_ = obs::kNoSpan;
+    migration_span_ = obs::kNoSpan;
+    obs::MetricsRegistry& m = obs.metrics();
+    ++m.counter("migrate.completed");
+    m.histogram("migrate.downtime_us").add(result_.observed_downtime);
+    m.histogram("migrate.total_us").add(result_.estimate.total);
+  }
   in_progress_ = false;
   auto done = std::move(done_);
   done(result_);

@@ -61,6 +61,9 @@ class VmMigrator {
   sim::SimTime suspended_at_ = 0;
   sim::Bytes transferred_ = 0;
   int rounds_ = 0;
+  obs::SpanId migration_span_ = obs::kNoSpan;
+  obs::SpanId stop_copy_span_ = obs::kNoSpan;
+  obs::SpanId outer_ambient_ = obs::kNoSpan;
   Result result_;
 };
 

@@ -73,6 +73,7 @@ void Reducer::add(const ReplicationResult& r) {
     histograms_[i].merge(r.histograms[i]);
   }
   for (std::size_t i = 0; i < r.series.size(); ++i) series_[i].merge(r.series[i]);
+  merged_metrics_.merge(r.metrics);
   ++count_;
 }
 

@@ -23,6 +23,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simcore/histogram.hpp"
 #include "simcore/random.hpp"
 #include "simcore/stats.hpp"
@@ -49,6 +50,11 @@ struct ReplicationResult {
   std::vector<double> values;
   std::vector<sim::LatencyHistogram> histograms;
   std::vector<sim::TimeSeries> series;
+  /// Named observability metrics of this replication (typically moved out
+  /// of a host's Observer). Merged per point in replication-index order,
+  /// like everything else, so the merged registry is thread-count
+  /// independent.
+  obs::MetricsRegistry metrics;
 };
 
 /// Order-fixed reduction of one grid point's replications. add() must be
@@ -71,6 +77,11 @@ class Reducer {
   [[nodiscard]] const std::vector<sim::TimeSeries>& series() const {
     return series_;
   }
+  /// Union of every replication's named metrics (counters summed,
+  /// histograms/summaries merged in add() order).
+  [[nodiscard]] const obs::MetricsRegistry& merged_metrics() const {
+    return merged_metrics_;
+  }
 
   /// Mean of metric `i` across replications.
   [[nodiscard]] double mean(std::size_t i) const;
@@ -82,6 +93,7 @@ class Reducer {
   std::vector<sim::Summary> metrics_;
   std::vector<sim::LatencyHistogram> histograms_;
   std::vector<sim::TimeSeries> series_;
+  obs::MetricsRegistry merged_metrics_;
   std::size_t count_ = 0;
 };
 

@@ -64,6 +64,7 @@ mm::Pfn GuestOs::cache_region_end_pfn() const {
 }
 
 void GuestOs::trace(const std::string& msg) {
+  if (!host_->tracer().enabled()) return;
   host_->tracer().emit(host_->sim().now(), "guest/" + name_, msg);
 }
 
@@ -171,7 +172,9 @@ void GuestOs::boot_sequence(std::function<void()> on_up) {
             start_services_from(0, [this, epoch, on_up = std::move(on_up)] {
               if (epoch != epoch_) return;
               state_ = OsState::kRunning;
-              trace("up (" + std::to_string(services_.size()) + " services)");
+              if (host_->tracer().enabled()) {
+                trace("up (" + std::to_string(services_.size()) + " services)");
+              }
               on_up();
             });
           });
@@ -245,7 +248,9 @@ void GuestOs::shutdown(std::function<void()> on_halted) {
 
 void GuestOs::force_power_off() {
   if (state_ == OsState::kHalted) return;
-  trace("forced power-off (state was " + std::string(to_string(state_)) + ")");
+  if (host_->tracer().enabled()) {
+    trace("forced power-off (state was " + std::string(to_string(state_)) + ")");
+  }
   ++epoch_;
   for (auto& s : services_) s->force_stop();
   if (host_->vmm_running() && domain_id_ != kNoDomain &&

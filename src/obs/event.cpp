@@ -1,0 +1,65 @@
+#include "obs/event.hpp"
+
+#include "simcore/check.hpp"
+
+namespace rh::obs {
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kHost: return "host";
+    case Category::kVmm: return "vmm";
+    case Category::kGuest: return "guest";
+    case Category::kRejuv: return "rejuv";
+    case Category::kSupervisor: return "supervisor";
+    case Category::kMigrate: return "migrate";
+    case Category::kCluster: return "cluster";
+    case Category::kFault: return "fault";
+    case Category::kOther: return "other";
+  }
+  return "unknown";
+}
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kPhaseBegin: return "phase-begin";
+    case EventKind::kPhaseEnd: return "phase-end";
+    case EventKind::kLifecycle: return "lifecycle";
+    case EventKind::kRecovery: return "recovery";
+    case EventKind::kFaultInjected: return "fault-injected";
+    case EventKind::kDomain: return "domain";
+    case EventKind::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+TraceEvent& EventRing::push() {
+  ensure(max_slabs_ > 0, "EventRing: max_slabs must be positive");
+  if (slabs_.empty() ||
+      slabs_[(first_slab_ + slabs_.size() - 1) % slabs_.size()]->used ==
+          kSlabEvents) {
+    if (slabs_.size() < max_slabs_) {
+      // Still growing: the newest slab is always the last element, so the
+      // ring stays contiguous with first_slab_ == 0.
+      slabs_.push_back(std::make_unique<Slab>());
+    } else {
+      // Recycle the oldest slab in place: it becomes the newest.
+      Slab& oldest = *slabs_[first_slab_];
+      dropped_ += oldest.used;
+      size_ -= oldest.used;
+      oldest.used = 0;
+      first_slab_ = (first_slab_ + 1) % slabs_.size();
+    }
+  }
+  Slab& tail = *slabs_[(first_slab_ + slabs_.size() - 1) % slabs_.size()];
+  ++size_;
+  return tail.events[tail.used++];
+}
+
+void EventRing::clear() {
+  slabs_.clear();
+  first_slab_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace rh::obs

@@ -1,0 +1,42 @@
+// Exporters: Chrome trace_event JSON (chrome://tracing, Perfetto) and a
+// flat metrics JSON consumed by benches and CI artifacts.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+#include "obs/observer.hpp"
+
+namespace rh::obs {
+
+/// Appends one process's spans and events to a Chrome trace. Spans become
+/// async "b"/"e" pairs (async events tolerate the overlapping siblings a
+/// parallel resume produces); typed events become instants. Call once per
+/// host with a distinct `pid`, between write_chrome_trace_header/_footer.
+class ChromeTraceWriter {
+ public:
+  explicit ChromeTraceWriter(std::ostream& os);
+  ~ChromeTraceWriter();
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  /// Emits process metadata + all spans and events of `obs` under `pid`.
+  void add_process(int pid, std::string_view name, const Observer& obs);
+
+ private:
+  void event_prefix();
+
+  std::ostream& os_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+/// Writes one Observer as a complete Chrome trace file.
+void write_chrome_trace(std::ostream& os, const Observer& obs, int pid = 0,
+                        std::string_view process_name = "host");
+
+/// Flat metrics JSON: {"counters": {...}, "gauges": {...},
+/// "summaries": {...}, "histograms": {...}}.
+void write_metrics_json(std::ostream& os, const MetricsRegistry& m);
+
+}  // namespace rh::obs

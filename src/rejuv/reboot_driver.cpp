@@ -29,16 +29,34 @@ void RebootDriver::run(std::function<void()> on_complete) {
   ensure(host_.up(), "RebootDriver::run: host is not up");
   started_ = true;
   started_at_ = host_.sim().now();
-  host_.tracer().emit(started_at_, "rejuv",
-                      std::string("begin ") + to_string(kind()));
+  if (host_.tracer().enabled()) {
+    host_.tracer().emit(started_at_, "rejuv",
+                        std::string("begin ") + to_string(kind()));
+  }
+  obs::Observer& obs = host_.obs();
+  pass_span_ = obs.span_open(started_at_, obs::Phase::kPass, to_string(kind()));
+  outer_ambient_ = obs.ambient();
+  obs.set_ambient(pass_span_);
   script_ = std::make_unique<sim::Script>(host_.sim());
+  // Mirror each completed step verbatim (same label, start and end) into a
+  // kStep span under the pass span: Fig. 7's breakdown falls out of the
+  // span tree byte-identical to breakdown().
+  script_->set_step_observer([this](const sim::StepRecord& rec) {
+    host_.obs().span_complete_under(rec.start, rec.end, obs::Phase::kStep,
+                                    rec.label, pass_span_);
+  });
   build(*script_);
   script_->run([this, on_complete = std::move(on_complete)] {
     completed_ = true;
     finished_at_ = host_.sim().now();
-    host_.tracer().emit(finished_at_, "rejuv",
-                        std::string("completed ") + to_string(kind()) + " in " +
-                            std::to_string(sim::to_seconds(total_duration())) + " s");
+    if (host_.tracer().enabled()) {
+      host_.tracer().emit(
+          finished_at_, "rejuv",
+          std::string("completed ") + to_string(kind()) + " in " +
+              std::to_string(sim::to_seconds(total_duration())) + " s");
+    }
+    host_.obs().span_close(pass_span_, finished_at_);
+    host_.obs().set_ambient(outer_ambient_);
     on_complete();
   });
 }

@@ -47,6 +47,10 @@ class RebootDriver {
   /// Per-operation timing breakdown (Fig. 7's superimposed bars).
   [[nodiscard]] const std::vector<sim::StepRecord>& breakdown() const;
 
+  /// Span id of this pass in the host observer's span tree (kNoSpan when
+  /// the observer was disabled or the driver has not run).
+  [[nodiscard]] obs::SpanId pass_span() const { return pass_span_; }
+
  protected:
   /// Subclasses append their steps to the script.
   virtual void build(sim::Script& script) = 0;
@@ -82,6 +86,8 @@ class RebootDriver {
   bool completed_ = false;
   sim::SimTime started_at_ = 0;
   sim::SimTime finished_at_ = 0;
+  obs::SpanId pass_span_ = obs::kNoSpan;
+  obs::SpanId outer_ambient_ = obs::kNoSpan;
 };
 
 /// Warm-VM reboot: the paper's contribution.

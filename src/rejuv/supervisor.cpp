@@ -48,13 +48,37 @@ Supervisor::Supervisor(vmm::Host& host, std::vector<guest::GuestOs*> guests,
 }
 
 void Supervisor::trace(const std::string& msg) {
+  if (!host_.tracer().enabled()) return;
   host_.tracer().emit(host_.sim().now(), "supervisor", msg);
 }
 
 void Supervisor::record(RecoveryAction action, const std::string& subject,
                         const std::string& detail) {
   report_.recoveries.push_back({action, host_.sim().now(), subject, detail});
-  trace(std::string(to_string(action)) + " [" + subject + "]: " + detail);
+  if (host_.tracer().enabled()) {
+    trace(std::string(to_string(action)) + " [" + subject + "]: " + detail);
+  }
+  // Mirror the typed RecoveryEvent into the trace stream and bump the
+  // per-action counter that the availability sweeps aggregate.
+  obs::Observer& obs = host_.obs();
+  if (obs.enabled()) {
+    obs.emit(host_.sim().now(), obs::Category::kSupervisor,
+             obs::EventKind::kRecovery, to_string(action), -1,
+             static_cast<std::uint64_t>(action));
+    ++obs.metrics().counter(std::string("supervisor.recovery.") +
+                            to_string(action));
+  }
+}
+
+void Supervisor::open_rung(const char* label) {
+  obs::Observer& obs = host_.obs();
+  if (!obs.enabled()) return;
+  if (rung_span_ != obs::kNoSpan) {
+    obs.span_close(rung_span_, host_.sim().now());
+  }
+  rung_span_ = obs.span_open_under(host_.sim().now(), obs::Phase::kLadderRung,
+                                   label, pass_span_);
+  obs.set_ambient(rung_span_);
 }
 
 sim::Duration Supervisor::backoff(int attempt) {
@@ -110,6 +134,13 @@ void Supervisor::run(std::function<void(const SupervisorReport&)> done) {
   report_.attempted = config_.preferred;
   report_.started_at = host_.sim().now();
   trace(std::string("begin supervised ") + to_string(config_.preferred));
+  if (host_.obs().enabled()) {
+    outer_ambient_ = host_.obs().ambient();
+    pass_span_ = host_.obs().span_open(
+        report_.started_at, obs::Phase::kPass,
+        std::string("supervised ") + to_string(config_.preferred));
+    host_.obs().set_ambient(pass_span_);
+  }
 
   // Aging can win the race against the rejuvenation timer: the VMM dies
   // right as (or before) the pass begins, taking every domain with it.
@@ -141,8 +172,16 @@ void Supervisor::recover(std::function<void(const SupervisorReport&)> done) {
   for (auto* g : guests_) {
     if (g->state() == guest::OsState::kHalted) halted.push_back(g);
   }
-  trace("begin recovery of " + std::to_string(halted.size()) +
-        " halted guest(s)");
+  if (host_.tracer().enabled()) {
+    trace("begin recovery of " + std::to_string(halted.size()) +
+          " halted guest(s)");
+  }
+  if (host_.obs().enabled()) {
+    outer_ambient_ = host_.obs().ambient();
+    pass_span_ = host_.obs().span_open(report_.started_at, obs::Phase::kPass,
+                                       "supervised recovery");
+    host_.obs().set_ambient(pass_span_);
+  }
   boot_cold(halted, [this] { finish(config_.preferred); });
 }
 
@@ -150,6 +189,7 @@ void Supervisor::recover(std::function<void(const SupervisorReport&)> done) {
 
 void Supervisor::handle_vmm_crash() {
   report_.vmm_crashed = true;
+  open_rung("hardware-reboot-after-crash");
   host_.crash_vmm();
   // Every domain died with the hypervisor; the guest objects must observe
   // that before they can be cold-booted.
@@ -164,10 +204,16 @@ void Supervisor::handle_vmm_crash() {
 
 // ------------------------------------------------------------------ warm
 
-void Supervisor::start_warm() { attempt_xexec(0); }
+void Supervisor::start_warm() {
+  open_rung("warm-VM reboot");
+  attempt_xexec(0);
+}
 
 void Supervisor::attempt_xexec(int attempt) {
-  host_.vmm().xexec_load([this, attempt] {
+  const obs::SpanId load = host_.obs().span_open(
+      host_.sim().now(), obs::Phase::kXexecLoad, "xexec load");
+  host_.vmm().xexec_load([this, load, attempt] {
+    host_.obs().span_close(load, host_.sim().now());
     if (host_.vmm().xexec_loaded()) {
       warm_after_xexec();
       return;
@@ -194,12 +240,18 @@ void Supervisor::warm_after_xexec() {
     auto after_drivers = [this] {
       if (host_.calib().suspend_by_vmm_after_dom0_shutdown) {
         host_.shutdown_dom0([this] {
-          host_.vmm().suspend_all_on_memory([this] {
+          const obs::SpanId susp = host_.obs().span_open(
+              host_.sim().now(), obs::Phase::kSuspend, "on-memory suspend");
+          host_.vmm().suspend_all_on_memory([this, susp] {
+            host_.obs().span_close(susp, host_.sim().now());
             host_.quick_reload([this] { warm_resume_phase(); });
           });
         });
       } else {
-        host_.vmm().suspend_all_on_memory([this] {
+        const obs::SpanId susp = host_.obs().span_open(
+            host_.sim().now(), obs::Phase::kSuspend, "on-memory suspend");
+        host_.vmm().suspend_all_on_memory([this, susp] {
+          host_.obs().span_close(susp, host_.sim().now());
           host_.shutdown_dom0([this] {
             host_.quick_reload([this] { warm_resume_phase(); });
           });
@@ -245,6 +297,14 @@ std::int64_t Supervisor::escalate_demotion(AdmissionPlan& plan) {
 }
 
 void Supervisor::run_admission(std::function<void()> done) {
+  if (host_.obs().enabled()) {
+    const obs::SpanId adm = host_.obs().span_open(
+        host_.sim().now(), obs::Phase::kAdmission, "admission");
+    done = [this, adm, inner = std::move(done)] {
+      host_.obs().span_close(adm, host_.sim().now());
+      inner();
+    };
+  }
   AdmissionController controller(host_, config_.admission);
   AdmissionPlan plan = controller.plan(suspendable_guests());
   report_.pressure.consulted = true;
@@ -350,11 +410,15 @@ void Supervisor::sweep_stale_regions() {
   for (const auto& name : stale) {
     if (host_.faults().roll(fault::FaultKind::kPreservedRegionLeak,
                             host_.sim().now(), "sweep:" + name)) {
-      trace("stale region '" + name + "' survived the sweep (injected)");
+      if (host_.tracer().enabled()) {
+        trace("stale region '" + name + "' survived the sweep (injected)");
+      }
       continue;
     }
     discard_region(name);
-    trace("released stale region '" + name + "'");
+    if (host_.tracer().enabled()) {
+      trace("released stale region '" + name + "'");
+    }
   }
 }
 
@@ -389,8 +453,10 @@ void Supervisor::discard_preserved_image(const std::string& guest_name) {
     const std::string stale_name = stale.name;
     host_.preserved().erase(region_name);
     host_.preserved().put(std::move(stale));
-    trace("preserved region for '" + guest_name +
-          "' LEAKED (injected); parked as '" + stale_name + "'");
+    if (host_.tracer().enabled()) {
+      trace("preserved region for '" + guest_name +
+            "' LEAKED (injected); parked as '" + stale_name + "'");
+    }
     return;
   }
   discard_region(region_name);
@@ -438,6 +504,8 @@ void Supervisor::warm_resume_phase() {
     }
   }
   const int count = static_cast<int>(intact.size());
+  const obs::SpanId resume = host_.obs().span_open(
+      host_.sim().now(), obs::Phase::kResume, "on-memory resume");
   for_each_parallel(
       intact,
       [this](guest::GuestOs& g, std::function<void()> guest_done) {
@@ -445,9 +513,10 @@ void Supervisor::warm_resume_phase() {
             g.name(), &g,
             [guest_done = std::move(guest_done)](DomainId) { guest_done(); });
       },
-      [this, count] {
+      [this, count, resume] {
         host_.note_simultaneous_creations(count);
         report_.resumed_vms = static_cast<std::size_t>(count);
+        host_.obs().span_close(resume, host_.sim().now());
         warm_restore_demoted();
       });
 }
@@ -470,6 +539,8 @@ void Supervisor::warm_restore_demoted() {
     boot_rest();
     return;
   }
+  const obs::SpanId restore = host_.obs().span_open(
+      host_.sim().now(), obs::Phase::kRestore, "restore demoted");
   for_each_parallel(
       to_restore,
       [this](guest::GuestOs& g, std::function<void()> guest_done) {
@@ -488,7 +559,10 @@ void Supervisor::warm_restore_demoted() {
               guest_done();
             });
       },
-      std::move(boot_rest));
+      [this, restore, boot_rest = std::move(boot_rest)] {
+        host_.obs().span_close(restore, host_.sim().now());
+        boot_rest();
+      });
 }
 
 // ----------------------------------------------------------------- saved
@@ -496,6 +570,9 @@ void Supervisor::warm_restore_demoted() {
 void Supervisor::start_saved() {
   // Reached either as the preferred mechanism or as the fallback from a
   // failed warm attempt; in both cases every guest is still running.
+  open_rung("saved-VM reboot");
+  const obs::SpanId save = host_.obs().span_open(
+      host_.sim().now(), obs::Phase::kSaveToDisk, "save VMs to disk");
   for_each_parallel(
       suspendable_guests(),
       [this](guest::GuestOs& g, std::function<void()> guest_done) {
@@ -514,7 +591,8 @@ void Supervisor::start_saved() {
               guest_done();
             });
       },
-      [this] {
+      [this, save] {
+        host_.obs().span_close(save, host_.sim().now());
         for_each_parallel(
             driver_domain_guests(),
             [](guest::GuestOs& g, std::function<void()> guest_done) {
@@ -533,6 +611,8 @@ void Supervisor::saved_restore_phase() {
   for (auto* g : suspendable_guests()) {
     if (host_.images().find(g->name()) != nullptr) to_restore.push_back(g);
   }
+  const obs::SpanId restore = host_.obs().span_open(
+      host_.sim().now(), obs::Phase::kRestore, "restore VMs from disk");
   for_each_parallel(
       to_restore,
       [this](guest::GuestOs& g, std::function<void()> guest_done) {
@@ -551,7 +631,8 @@ void Supervisor::saved_restore_phase() {
               guest_done();
             });
       },
-      [this] {
+      [this, restore] {
+        host_.obs().span_close(restore, host_.sim().now());
         GuestList to_boot = cold_list_;
         const GuestList drivers = driver_domain_guests();
         to_boot.insert(to_boot.end(), drivers.begin(), drivers.end());
@@ -562,6 +643,7 @@ void Supervisor::saved_restore_phase() {
 // ------------------------------------------------------------------ cold
 
 void Supervisor::start_cold() {
+  open_rung("cold-VM reboot");
   for_each_parallel(
       guests_,
       [](guest::GuestOs& g, std::function<void()> guest_done) {
@@ -614,6 +696,11 @@ void Supervisor::supervised_boot(guest::GuestOs& g, int attempt,
 
 void Supervisor::boot_cold(const GuestList& guests,
                            std::function<void()> done) {
+  obs::SpanId boot = obs::kNoSpan;
+  if (!guests.empty()) {
+    boot = host_.obs().span_open(host_.sim().now(), obs::Phase::kGuestBoot,
+                                 "supervised guest boots");
+  }
   for_each_parallel(
       guests,
       [this](guest::GuestOs& g, std::function<void()> guest_done) {
@@ -623,7 +710,10 @@ void Supervisor::boot_cold(const GuestList& guests,
           guest_done();
         });
       },
-      std::move(done));
+      [this, boot, done = std::move(done)] {
+        host_.obs().span_close(boot, host_.sim().now());
+        done();
+      });
 }
 
 // ---------------------------------------------------------------- finish
@@ -633,12 +723,29 @@ void Supervisor::finish(RebootKind completed_kind) {
   report_.success = report_.unrecovered_vms.empty();
   report_.finished_at = host_.sim().now();
   completed_ = true;
-  trace(std::string("completed (") + to_string(completed_kind) + ", " +
-        (report_.success ? "all VMs recovered" :
-                           std::to_string(report_.unrecovered_vms.size()) +
-                               " VM(s) unrecovered") +
-        ", " + std::to_string(report_.recoveries.size()) + " recoveries, " +
-        std::to_string(sim::to_seconds(report_.total_duration())) + " s)");
+  if (host_.tracer().enabled()) {
+    trace(std::string("completed (") + to_string(completed_kind) + ", " +
+          (report_.success ? "all VMs recovered" :
+                             std::to_string(report_.unrecovered_vms.size()) +
+                                 " VM(s) unrecovered") +
+          ", " + std::to_string(report_.recoveries.size()) + " recoveries, " +
+          std::to_string(sim::to_seconds(report_.total_duration())) + " s)");
+  }
+  obs::Observer& obs = host_.obs();
+  if (obs.enabled()) {
+    obs.span_close(rung_span_, report_.finished_at);
+    obs.span_close(pass_span_, report_.finished_at);
+    obs.set_ambient(outer_ambient_);
+    rung_span_ = obs::kNoSpan;
+    obs::MetricsRegistry& m = obs.metrics();
+    m.counter("supervisor.passes") += 1;
+    m.counter("supervisor.vms_resumed") += report_.resumed_vms;
+    m.counter("supervisor.vms_restored") += report_.restored_vms;
+    m.counter("supervisor.vms_cold_booted") += report_.cold_booted_vms;
+    m.counter("supervisor.vms_unrecovered") += report_.unrecovered_vms.size();
+    if (!report_.success) m.counter("supervisor.failed_passes") += 1;
+    m.histogram("supervisor.pass_duration_us").add(report_.total_duration());
+  }
   auto done = std::move(done_);
   done(report_);
 }

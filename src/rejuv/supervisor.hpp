@@ -184,6 +184,10 @@ class Supervisor {
   void record(RecoveryAction action, const std::string& subject,
               const std::string& detail);
   void trace(const std::string& msg);
+  /// Closes the current ladder-rung span (if any) and opens a new one
+  /// under the pass span; every mechanism the ladder descends through gets
+  /// its own kLadderRung window.
+  void open_rung(const char* label);
 
   vmm::Host& host_;
   GuestList guests_;
@@ -193,6 +197,9 @@ class Supervisor {
   GuestList cold_list_;  ///< accumulated per-VM degradations this pass
   GuestList admit_saved_;  ///< demoted to the disk path by admission
   GuestList admit_cold_;   ///< demoted to cold boot by admission
+  obs::SpanId pass_span_ = obs::kNoSpan;
+  obs::SpanId rung_span_ = obs::kNoSpan;
+  obs::SpanId outer_ambient_ = obs::kNoSpan;
   bool started_ = false;
   bool completed_ = false;
 };

@@ -53,6 +53,7 @@ void Script::run_step(std::size_t i) {
   records_.push_back({steps_[i].label, sim_.now(), sim_.now()});
   steps_[i].fn([this, i] {
     records_[i].end = sim_.now();
+    if (step_observer_) step_observer_(records_[i]);
     run_step(i + 1);
   });
 }

@@ -57,6 +57,12 @@ class Script {
   /// (records are cleared at each start).
   void run(InlineCallback on_complete);
 
+  /// Called with each step's completed record, the moment the step ends.
+  /// The observability layer hooks this to mirror steps as phase spans
+  /// without simcore depending on it; unset (the default) costs nothing.
+  using StepObserver = std::function<void(const StepRecord&)>;
+  void set_step_observer(StepObserver fn) { step_observer_ = std::move(fn); }
+
   [[nodiscard]] bool running() const { return running_; }
 
   /// Per-step timing of the most recent (or in-progress) run.
@@ -81,6 +87,7 @@ class Script {
   Simulation& sim_;
   std::vector<Step> steps_;
   std::vector<StepRecord> records_;
+  StepObserver step_observer_;
   InlineCallback on_complete_;
   bool running_ = false;
   bool completed_ = false;

@@ -1,8 +1,14 @@
-// Structured tracing of simulation activity.
+// Human-readable tracing of simulation activity (compatibility facade).
 //
 // Components emit labelled trace records (category + message) with the
 // simulated timestamp. Tests and benches consume the record list; the
 // examples stream them to stdout to narrate a run.
+//
+// This is the *narrative* layer: strings for humans and tests. The typed,
+// allocation-free machine-readable layer is obs::Observer (src/obs/) --
+// POD events, phase spans and metrics. Call sites that build a message
+// dynamically must guard on enabled() first (emit() drops records when
+// disabled, but by then the caller has already paid for the formatting).
 #pragma once
 
 #include <functional>

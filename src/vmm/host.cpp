@@ -44,11 +44,15 @@ void Host::configure_faults(const fault::FaultConfig& config) {
   }
   faults_ = fault::FaultInjector(config, rng_.split());
   tracer_.emit(sim_.now(), "host", "fault injection armed");
+  obs_.emit(sim_.now(), obs::Category::kFault, obs::EventKind::kLifecycle,
+            "fault injection armed");
 }
 
 void Host::crash_vmm() {
   ensure(vmm_ != nullptr, "crash_vmm: no VMM instance to crash");
   tracer_.emit(sim_.now(), "host", "VMM CRASHED (injected): all domains lost");
+  obs_.emit(sim_.now(), obs::Category::kHost, obs::EventKind::kLifecycle,
+            "vmm crash", -1, vmm_generation_);
   vmm_.reset();
   dom0_state_ = Dom0State::kDown;
   // The crash scribbles over RAM on the way down (no orderly handover), so
@@ -79,23 +83,32 @@ void Host::shutdown_dom0(std::function<void()> on_down) {
   ensure(dom0_state_ == Dom0State::kRunning, "shutdown_dom0: dom0 not running");
   dom0_state_ = Dom0State::kShuttingDown;
   tracer_.emit(sim_.now(), "host", "dom0 shutting down");
-  sim_.after(jittered(calib_.dom0_shutdown), [this, on_down = std::move(on_down)] {
+  const obs::SpanId span =
+      obs_.span_open(sim_.now(), obs::Phase::kDom0Shutdown, "dom0 shutdown");
+  sim_.after(jittered(calib_.dom0_shutdown),
+             [this, span, on_down = std::move(on_down)] {
     dom0_state_ = Dom0State::kDown;
     tracer_.emit(sim_.now(), "host", "dom0 down");
+    obs_.span_close(span, sim_.now());
     on_down();
   });
 }
 
 void Host::boot_vmm(BootMode mode, std::function<void()> on_up) {
   vmm_ = new_vmm(mode);
-  vmm_->boot([this, on_up = std::move(on_up)] {
+  const obs::SpanId span =
+      obs_.span_open(sim_.now(), obs::Phase::kVmmInit,
+                     mode == BootMode::kQuickReload ? "vmm re-init"
+                                                    : "vmm boot");
+  vmm_->boot([this, span, on_up = std::move(on_up)] {
     vmm_ready_at_ = sim_.now();
     dom0_state_ = Dom0State::kBooting;
-    sim_.after(jittered(calib_.dom0_userland_boot), [this, on_up] {
+    sim_.after(jittered(calib_.dom0_userland_boot), [this, span, on_up] {
       dom0_state_ = Dom0State::kRunning;
       dom0_up_at_ = sim_.now();
       restart_daemons();
       tracer_.emit(sim_.now(), "host", "dom0 userland up");
+      obs_.span_close(span, sim_.now());
       on_up();
     });
   });
@@ -133,11 +146,22 @@ void Host::quick_reload(std::function<void()> on_up) {
   ensure(dom0_state_ == Dom0State::kDown,
          "quick_reload: dom0 must be shut down first");
   tracer_.emit(sim_.now(), "host", "quick reload: jumping to new VMM");
+  const obs::SpanId span =
+      obs_.span_open(sim_.now(), obs::Phase::kQuickReload, "quick reload");
   // The old VMM instance is gone the moment control transfers; machine
   // memory and the preserved-region registry survive untouched.
   vmm_.reset();
-  sim_.after(calib_.xexec_jump, [this, on_up = std::move(on_up)]() mutable {
-    boot_vmm(BootMode::kQuickReload, std::move(on_up));
+  sim_.after(calib_.xexec_jump, [this, span, on_up = std::move(on_up)]() mutable {
+    // Nest the VMM re-init under the quick-reload span; restore the
+    // previous ambient once dom0 userland is back.
+    const obs::SpanId outer = obs_.ambient();
+    obs_.set_ambient(span);
+    boot_vmm(BootMode::kQuickReload,
+             [this, span, outer, on_up = std::move(on_up)] {
+               obs_.span_close(span, sim_.now());
+               obs_.set_ambient(outer);
+               on_up();
+             });
   });
 }
 
@@ -146,14 +170,23 @@ void Host::hardware_reboot(std::function<void()> on_up) {
   ensure(dom0_state_ == Dom0State::kDown,
          "hardware_reboot: dom0 must be shut down first");
   tracer_.emit(sim_.now(), "host", "hardware reset");
+  const obs::SpanId span =
+      obs_.span_open(sim_.now(), obs::Phase::kHardwareReset, "hardware reset");
   vmm_.reset();
   // The power cycle destroys RAM contents; everything the registry
   // described is gone with them.
   preserved_.clear();
-  machine_.hardware_reset([this, on_up = std::move(on_up)]() mutable {
+  machine_.hardware_reset([this, span, on_up = std::move(on_up)]() mutable {
     tracer_.emit(sim_.now(), "host", "POST complete; boot loader");
-    sim_.after(calib_.bootloader, [this, on_up = std::move(on_up)]() mutable {
-      boot_vmm(BootMode::kFresh, std::move(on_up));
+    sim_.after(calib_.bootloader,
+               [this, span, on_up = std::move(on_up)]() mutable {
+      const obs::SpanId outer = obs_.ambient();
+      obs_.set_ambient(span);
+      boot_vmm(BootMode::kFresh, [this, span, outer, on_up = std::move(on_up)] {
+        obs_.span_close(span, sim_.now());
+        obs_.set_ambient(outer);
+        on_up();
+      });
     });
   });
 }
@@ -161,10 +194,17 @@ void Host::hardware_reboot(std::function<void()> on_up) {
 void Host::note_simultaneous_creations(int count) {
   if (calib_.model_xen_creation_artifact && count >= 2) {
     artifact_until_ = sim_.now() + calib_.creation_artifact_duration;
-    tracer_.emit(sim_.now(), "host",
-                 "Xen creation artifact: network degraded for " +
-                     std::to_string(sim::to_seconds(calib_.creation_artifact_duration)) +
-                     " s");
+    if (tracer_.enabled()) {
+      tracer_.emit(sim_.now(), "host",
+                   "Xen creation artifact: network degraded for " +
+                       std::to_string(sim::to_seconds(calib_.creation_artifact_duration)) +
+                       " s");
+    }
+    // The degradation window is known up front, so record it as a
+    // completed span immediately rather than scheduling a close event
+    // (which would perturb the event stream of instrumented runs).
+    obs_.span_complete(sim_.now(), artifact_until_, obs::Phase::kCacheRewarm,
+                       "creation artifact");
   }
 }
 

@@ -14,6 +14,7 @@
 #include "hw/machine.hpp"
 #include "mm/preserved_registry.hpp"
 #include "net/network.hpp"
+#include "obs/observer.hpp"
 #include "simcore/random.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/trace.hpp"
@@ -39,6 +40,10 @@ class Host {
   [[nodiscard]] mm::PreservedRegionRegistry& preserved() { return preserved_; }
   [[nodiscard]] ImageStore& images() { return images_; }
   [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
+  /// Typed observability (events/spans/metrics); disabled by default so
+  /// hot runs pay one branch per instrumentation point and nothing else.
+  [[nodiscard]] obs::Observer& obs() { return obs_; }
+  [[nodiscard]] const obs::Observer& obs() const { return obs_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] net::Link& link() { return link_; }
   [[nodiscard]] fault::FaultInjector& faults() { return faults_; }
@@ -152,6 +157,7 @@ class Host {
   sim::Simulation& sim_;
   Calibration calib_;
   sim::Tracer tracer_;
+  obs::Observer obs_;
   sim::Rng rng_;
   hw::Machine machine_;
   mm::PreservedRegionRegistry preserved_;

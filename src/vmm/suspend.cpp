@@ -47,7 +47,7 @@ void Vmm::suspend_domain_on_memory(DomainId id, std::function<void()> done) {
   ensure(d.running(), "suspend: domain '" + d.name() + "' is not running");
   ensure(d.hooks() != nullptr, "suspend: domain has no guest hooks");
   d.set_state(DomainState::kSuspending);
-  trace("suspend event -> domain '" + d.name() + "'");
+  if (tracer_.enabled()) trace("suspend event -> domain '" + d.name() + "'");
 
   sim_.after(calib_.suspend_event_delivery, [this, id, done = std::move(done)] {
     // The guest runs its suspend handler (detaching devices) and then
@@ -86,15 +86,19 @@ void Vmm::suspend_domain_on_memory(DomainId id, std::function<void()> done) {
         bool recorded = false;
         if (faults_.roll(fault::FaultKind::kFrameAllocFailure, sim_.now(),
                          "suspend:" + d.name())) {
-          trace("domain '" + d.name() +
-                "' suspend frame allocation failed (injected); no image");
+          if (tracer_.enabled()) {
+            trace("domain '" + d.name() +
+                  "' suspend frame allocation failed (injected); no image");
+          }
         } else {
           try {
             preserved_.put(std::move(region));
             recorded = true;
           } catch (const mm::PreservedBudgetExceeded& e) {
-            trace("domain '" + d.name() +
-                  "' image rejected by preserved-frame budget: " + e.what());
+            if (tracer_.enabled()) {
+              trace("domain '" + d.name() +
+                    "' image rejected by preserved-frame budget: " + e.what());
+            }
           }
         }
         // Bit-rot injection: the image is recorded but a payload byte flips
@@ -105,13 +109,17 @@ void Vmm::suspend_domain_on_memory(DomainId id, std::function<void()> done) {
             faults_.roll(fault::FaultKind::kCorruptPreservedImage, sim_.now(),
                          "suspend:" + d.name())) {
           preserved_.corrupt_payload(region_name);
-          trace("domain '" + d.name() +
-                "' preserved image corrupted in RAM (injected)");
+          if (tracer_.enabled()) {
+            trace("domain '" + d.name() +
+                  "' preserved image corrupted in RAM (injected)");
+          }
         }
 
         d.set_state(DomainState::kSuspendedInMemory);
-        trace("domain '" + d.name() + "' suspended on-memory (" +
-              std::to_string(d.p2m().populated()) + " frames frozen)");
+        if (tracer_.enabled()) {
+          trace("domain '" + d.name() + "' suspended on-memory (" +
+                std::to_string(d.p2m().populated()) + " frames frozen)");
+        }
         done();
       });
     });
@@ -212,7 +220,9 @@ void Vmm::resume_domain_on_memory(const std::string& name, GuestHooks* hooks,
         register_domain_in_store(ref);
         note_domain_op();
         preserved_.erase(region_name);
-        trace("re-created domain '" + name + "' from preserved image");
+        if (tracer_.enabled()) {
+          trace("re-created domain '" + name + "' from preserved image");
+        }
 
         // Re-attaching memory scales (mildly) with image size and runs
         // outside the management queue; the guest resume handler follows.
@@ -222,7 +232,9 @@ void Vmm::resume_domain_on_memory(const std::string& name, GuestHooks* hooks,
         sim_.after(claim_walk, [this, id, hooks, done] {
           hooks->on_resume(id, [this, id, done] {
             domain(id).set_state(DomainState::kRunning);
-            trace("domain '" + domain(id).name() + "' resumed on-memory");
+            if (tracer_.enabled()) {
+              trace("domain '" + domain(id).name() + "' resumed on-memory");
+            }
             done(id);
           });
         });

@@ -38,7 +38,10 @@ Vmm::Vmm(sim::Simulation& sim, const Calibration& calib, hw::Machine& machine,
                       calib_.vmm_reserved_memory / sim::kPageSize);
 }
 
-void Vmm::trace(const std::string& msg) { tracer_.emit(sim_.now(), "vmm", msg); }
+void Vmm::trace(const std::string& msg) {
+  if (!tracer_.enabled()) return;
+  tracer_.emit(sim_.now(), "vmm", msg);
+}
 
 sim::Duration Vmm::create_duration(sim::Bytes memory) const {
   return calib_.domain_create_base +
@@ -80,14 +83,18 @@ void Vmm::reserve_preserved_regions() {
     } catch (const mm::OutOfMachineMemory& e) {
       for (const auto mfn : region->frozen_frames) allocator_.release(mfn);
       dropped.push_back(name);
-      trace("dropped preserved region '" + name + "' at reload: " + e.what());
+      if (tracer_.enabled()) {
+        trace("dropped preserved region '" + name + "' at reload: " + e.what());
+      }
     }
   }
   for (const auto& name : dropped) preserved_.erase(name);
-  trace("re-reserved " + std::to_string(preserved_.size()) +
-        " preserved region(s)" +
-        (dropped.empty() ? std::string()
-                         : " (dropped " + std::to_string(dropped.size()) + ")"));
+  if (tracer_.enabled()) {
+    trace("re-reserved " + std::to_string(preserved_.size()) +
+          " preserved region(s)" +
+          (dropped.empty() ? std::string()
+                           : " (dropped " + std::to_string(dropped.size()) + ")"));
+  }
 }
 
 void Vmm::build_dom0() {
@@ -103,7 +110,9 @@ void Vmm::scrub_free_memory() {
   // scrubber never touches them.
   const auto free_frames = allocator_.free_frame_list();
   for (const auto mfn : free_frames) machine_.memory().scrub(mfn);
-  trace("scrubbed " + std::to_string(free_frames.size()) + " free frames");
+  if (tracer_.enabled()) {
+    trace("scrubbed " + std::to_string(free_frames.size()) + " free frames");
+  }
 }
 
 void Vmm::finish_boot() {
@@ -178,8 +187,10 @@ Domain& Vmm::make_domain(const std::string& name, sim::Bytes memory,
   }
   dom->exec().event_channels = dom->event_channels().state_token();
   dom->set_hooks(hooks);
-  trace("created domain '" + name + "' (" + std::to_string(id) + ", " +
-        std::to_string(sim::to_gib(memory)) + " GiB)");
+  if (tracer_.enabled()) {
+    trace("created domain '" + name + "' (" + std::to_string(id) + ", " +
+          std::to_string(sim::to_gib(memory)) + " GiB)");
+  }
   Domain& ref = *dom;
   domains_[id] = std::move(dom);
   register_domain_in_store(ref);
@@ -254,7 +265,7 @@ void Vmm::destroy_domain(DomainId id) {
     heap_.leak(calib_.heap_leak_per_domain_cycle);
   }
   d.set_state(DomainState::kDead);
-  trace("destroyed domain '" + d.name() + "'");
+  if (tracer_.enabled()) trace("destroyed domain '" + d.name() + "'");
   xenstore_.remove("/local/domain/" + std::to_string(id));
   xenstore_.remove("/vm/" + d.name());
   note_domain_op();
@@ -301,7 +312,9 @@ sim::Bytes Vmm::trigger_error_path() {
   const sim::Bytes leak = calib_.heap_leak_per_error_path;
   if (leak > 0) {
     heap_.leak(leak);
-    trace("error path executed: leaked " + std::to_string(leak) + " bytes");
+    if (tracer_.enabled()) {
+      trace("error path executed: leaked " + std::to_string(leak) + " bytes");
+    }
   }
   return leak;
 }
@@ -335,7 +348,9 @@ std::int64_t Vmm::compact_memory() {
       ++moved;
     }
   }
-  if (moved > 0) trace("compaction moved " + std::to_string(moved) + " frames");
+  if (moved > 0 && tracer_.enabled()) {
+    trace("compaction moved " + std::to_string(moved) + " frames");
+  }
   return moved;
 }
 

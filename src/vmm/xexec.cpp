@@ -14,8 +14,10 @@ namespace rh::vmm {
 void Vmm::xexec_load(std::function<void()> done) {
   ensure(static_cast<bool>(done), "xexec_load: callback required");
   ensure(ready_, "xexec_load: VMM not booted");
-  trace("xexec: loading new VMM image (" +
-        std::to_string(sim::to_mib(calib_.xexec_image_size)) + " MiB)");
+  if (tracer_.enabled()) {
+    trace("xexec: loading new VMM image (" +
+          std::to_string(sim::to_mib(calib_.xexec_image_size)) + " MiB)");
+  }
   machine_.disk().read(calib_.xexec_image_size, hw::Disk::Access::kSequential,
                        [this, done = std::move(done)] {
                          sim_.after(calib_.xexec_hypercall, [this, done] {
