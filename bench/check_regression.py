@@ -1,26 +1,37 @@
 #!/usr/bin/env python3
-"""Soft perf-regression gate over the checked-in bench JSONs.
+"""Perf-regression gate over the bench JSONs.
 
-Compares a freshly generated BENCH_sched.json / BENCH_runner.json against
-the committed ones and exits non-zero when the geometric-mean throughput
-ratio (fresh / baseline) drops by more than the threshold (default 15 %).
+Each CI run appends its fresh BENCH_*.json files to a history directory
+(one snapshot per run id, persisted through the actions cache). The
+baseline for every metric is the *trailing median* over the most recent
+snapshots (up to 5): a single noisy run can neither fail the gate nor
+poison the baseline, so the gate is HARD -- a geometric-mean drop beyond
+the threshold exits non-zero and fails CI.
 
-Only metrics present in BOTH files are compared, so CI smoke runs (tiny
-budgets, fewer thread points) still line up with the full checked-in
-sweeps. CI wires this as a soft gate (continue-on-error): shared runners
-are too noisy for a hard fail, but the log line makes a real regression
-visible the day it lands.
+Soft mode happens exactly once per cold cache: when the history directory
+holds no usable snapshots there is nothing trustworthy to compare
+against, so the script warns, optionally seeds the history, and passes.
+
+Only metrics present in both the baseline and the fresh files are
+compared, so CI smoke runs (tiny budgets, fewer thread points) still
+line up with fuller sweeps.
 
 Usage:
-  check_regression.py [--baseline-dir DIR] [--fresh-dir DIR]
-                      [--threshold 0.15]
+  check_regression.py [--history-dir DIR] [--fresh-dir DIR]
+                      [--threshold 0.15] [--append-history RUN_ID]
+                      [--keep 10]
 """
 
 import argparse
 import json
 import math
 import os
+import shutil
+import statistics
 import sys
+
+SUITE_FILES = ["BENCH_sched.json", "BENCH_runner.json", "BENCH_pdes.json"]
+MEDIAN_WINDOW = 5
 
 
 def load(path):
@@ -46,6 +57,8 @@ def runner_metrics(doc):
     """thread count -> speedup vs sequential (portable across machines,
     unlike raw wall seconds)."""
     out = {}
+    if doc.get("degenerate_scaling"):
+        return out
     for s in doc.get("scaling", []):
         sp = s.get("speedup_vs_sequential")
         if sp and s.get("threads"):
@@ -53,59 +66,140 @@ def runner_metrics(doc):
     return out
 
 
-def compare(name, baseline, fresh, extract):
-    if baseline is None or fresh is None:
+def pdes_metrics(doc):
+    """worker count -> committed events per wall-second through the
+    parallel engine. Speedups are skipped on single-core machines
+    (degenerate_scaling), but throughput still catches engine-side
+    slowdowns there."""
+    out = {}
+    degenerate = doc.get("degenerate_scaling", False)
+    for s in doc.get("strong_scaling", []):
+        w, wall = s.get("workers"), s.get("wall_seconds")
+        if not w or not wall:
+            continue
+        if s.get("events"):
+            out[f"pdes/eps_workers={w}"] = float(s["events"]) / float(wall)
+        if not degenerate and s.get("speedup_vs_1"):
+            out[f"pdes/speedup_workers={w}"] = float(s["speedup_vs_1"])
+    return out
+
+
+EXTRACTORS = {
+    "BENCH_sched.json": sched_metrics,
+    "BENCH_runner.json": runner_metrics,
+    "BENCH_pdes.json": pdes_metrics,
+}
+
+
+def snapshot_ids(history_dir):
+    """Snapshot directories, oldest first. GitHub run ids are increasing
+    integers; fall back to lexicographic order for anything else."""
+    if not os.path.isdir(history_dir):
         return []
-    base, new = extract(baseline), extract(fresh)
-    pairs = []
-    for key in sorted(base.keys() & new.keys()):
-        ratio = new[key] / base[key]
-        pairs.append((key, ratio))
-        print(f"  {key:<28} baseline {base[key]:>12.2f}  "
-              f"fresh {new[key]:>12.2f}  ratio {ratio:.3f}")
-    if not pairs:
-        print(f"  [skip] {name}: no comparable metrics")
-    return pairs
+    ids = [d for d in os.listdir(history_dir)
+           if os.path.isdir(os.path.join(history_dir, d))]
+
+    def key(d):
+        return (0, int(d)) if d.isdigit() else (1, d)
+
+    return sorted(ids, key=key)
+
+
+def history_metrics(history_dir):
+    """metric -> trailing median over the last MEDIAN_WINDOW snapshots."""
+    samples = {}
+    ids = snapshot_ids(history_dir)[-MEDIAN_WINDOW:]
+    for run_id in ids:
+        for fname, extract in EXTRACTORS.items():
+            doc = load(os.path.join(history_dir, run_id, fname))
+            if doc is None:
+                continue
+            for metric, value in extract(doc).items():
+                samples.setdefault(metric, []).append(value)
+    if ids:
+        print(f"history: {len(ids)} snapshot(s) "
+              f"[{ids[0]} .. {ids[-1]}], median window {MEDIAN_WINDOW}")
+    return {m: statistics.median(vs) for m, vs in samples.items()}
+
+
+def fresh_metrics(fresh_dir):
+    out = {}
+    for fname, extract in EXTRACTORS.items():
+        doc = load(os.path.join(fresh_dir, fname))
+        if doc is not None:
+            out.update(extract(doc))
+    return out
+
+
+def append_history(history_dir, fresh_dir, run_id, keep):
+    dst = os.path.join(history_dir, str(run_id))
+    os.makedirs(dst, exist_ok=True)
+    copied = 0
+    for fname in SUITE_FILES:
+        src = os.path.join(fresh_dir, fname)
+        if os.path.isfile(src):
+            shutil.copy2(src, os.path.join(dst, fname))
+            copied += 1
+    print(f"appended snapshot '{run_id}' ({copied} file(s)) to {history_dir}")
+    for stale in snapshot_ids(history_dir)[:-keep]:
+        shutil.rmtree(os.path.join(history_dir, stale), ignore_errors=True)
+        print(f"pruned stale snapshot '{stale}'")
 
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--baseline-dir", default=".",
-                    help="directory holding the checked-in BENCH_*.json")
+    ap.add_argument("--history-dir", default="bench-history",
+                    help="directory of per-run BENCH_*.json snapshots")
     ap.add_argument("--fresh-dir", default=".",
-                    help="directory holding the freshly generated ones")
+                    help="directory holding the freshly generated JSONs")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max tolerated geomean regression (0.15 = 15%%)")
+    ap.add_argument("--append-history", metavar="RUN_ID", default=None,
+                    help="after comparing, store the fresh JSONs as "
+                         "snapshot RUN_ID")
+    ap.add_argument("--keep", type=int, default=10,
+                    help="snapshots to retain when appending")
     args = ap.parse_args()
 
-    suites = [
-        ("BENCH_sched.json", sched_metrics),
-        ("BENCH_runner.json", runner_metrics),
-    ]
-    pairs = []
-    for fname, extract in suites:
-        print(f"{fname}:")
-        pairs += compare(
-            fname,
-            load(os.path.join(args.baseline_dir, fname)),
-            load(os.path.join(args.fresh_dir, fname)),
-            extract,
-        )
-    if not pairs:
-        print("nothing to compare; passing")
-        return 0
+    baseline = history_metrics(args.history_dir)
+    fresh = fresh_metrics(args.fresh_dir)
 
-    geomean = math.exp(sum(math.log(r) for _, r in pairs) / len(pairs))
-    floor = 1.0 - args.threshold
-    print(f"\ngeomean throughput ratio (fresh/baseline): {geomean:.3f} "
-          f"over {len(pairs)} metrics (floor {floor:.2f})")
-    if geomean < floor:
-        worst = min(pairs, key=lambda p: p[1])
-        print(f"REGRESSION: geomean below floor; worst metric "
-              f"{worst[0]} at {worst[1]:.3f}")
-        return 1
-    print("OK: within threshold")
-    return 0
+    status = 0
+    if not baseline:
+        print("WARNING: no usable history snapshots -- nothing trustworthy "
+              "to gate against; passing (soft). The gate hardens once a "
+              "snapshot exists.")
+    else:
+        pairs = []
+        for key in sorted(baseline.keys() & fresh.keys()):
+            ratio = fresh[key] / baseline[key]
+            pairs.append((key, ratio))
+            print(f"  {key:<28} baseline {baseline[key]:>12.2f}  "
+                  f"fresh {fresh[key]:>12.2f}  ratio {ratio:.3f}")
+        if not pairs:
+            print("WARNING: history exists but shares no metrics with the "
+                  "fresh run; passing (soft)")
+        else:
+            geomean = math.exp(
+                sum(math.log(r) for _, r in pairs) / len(pairs))
+            floor = 1.0 - args.threshold
+            print(f"\ngeomean throughput ratio (fresh/median-baseline): "
+                  f"{geomean:.3f} over {len(pairs)} metrics "
+                  f"(floor {floor:.2f})")
+            if geomean < floor:
+                worst = min(pairs, key=lambda p: p[1])
+                print(f"REGRESSION (hard gate): geomean below floor; worst "
+                      f"metric {worst[0]} at {worst[1]:.3f}")
+                status = 1
+            else:
+                print("OK: within threshold")
+
+    if args.append_history is not None and status == 0:
+        append_history(args.history_dir, args.fresh_dir,
+                       args.append_history, max(1, args.keep))
+    elif args.append_history is not None:
+        print("not appending a regressed run to history")
+    return status
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@
 // load balancer through a rolling warm rejuvenation and reports the
 // observed throughput dip.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -16,6 +17,7 @@
 #include "cluster/vm_migrator.hpp"
 #include "guest/sshd.hpp"
 #include "obs/export.hpp"
+#include "simcore/parallel.hpp"
 
 namespace {
 
@@ -112,6 +114,57 @@ SimRow simulated_once(std::uint64_t seed, const std::string& trace_path = "") {
   return row;
 }
 
+// --workers N: the same scenario on the conservative parallel engine
+// (DESIGN.md §11), one partition per host plus the control plane. Prints
+// a deterministic digest so CI can diff `--workers 1` against
+// `--workers 4` -- equal digests mean the worker count is unobservable.
+void parallel_once(std::size_t workers, std::uint64_t seed) {
+  const int hosts = 3;
+  sim::ParallelSimulation engine({.partitions = hosts + 1, .workers = workers});
+  cluster::Cluster::Config cfg;
+  cfg.hosts = hosts;
+  cfg.vms_per_host = 4;
+  cfg.seed = seed;
+  cfg.engine = &engine;
+  cluster::Cluster cl(engine.partition(0), cfg);
+  cluster::ClusterClientFleet fleet(engine.partition(0), cl.balancer(), {});
+
+  bool ready = false;
+  cl.start([&ready] { ready = true; });
+  engine.run_while([&ready] { return !ready; });
+  engine.run_on(0, [&fleet] { fleet.start(); });
+  engine.run_until(engine.partition(0).now() + 30 * sim::kSecond);
+  bool done = false;
+  engine.run_on(0, [&cl, &done] {
+    cl.rolling_rejuvenation(rejuv::RebootKind::kWarm, [&done] { done = true; });
+  });
+  engine.run_while([&done] { return !done; });
+  engine.run_until(engine.partition(0).now() + 60 * sim::kSecond);
+
+  std::uint64_t digest = 0;
+  const auto mix = [&digest](std::uint64_t v) {
+    digest ^= v + 0x9e3779b97f4a7c15ull + (digest << 6) + (digest >> 2);
+  };
+  for (std::int32_t p = 0; p < engine.partition_count(); ++p) {
+    mix(static_cast<std::uint64_t>(engine.partition(p).now()));
+    mix(engine.partition(p).executed_events());
+  }
+  mix(static_cast<std::uint64_t>(fleet.completions().total()));
+  mix(cl.balancer().dispatched());
+  mix(cl.balancer().rejected());
+  for (const auto d : cl.rejuvenation_durations()) {
+    mix(static_cast<std::uint64_t>(d));
+  }
+  mix(engine.messages_routed());
+  std::printf("  parallel DES cluster: hosts=%d workers=%zu windows=%llu "
+              "messages=%llu events=%llu digest=%016llx\n",
+              hosts, workers,
+              static_cast<unsigned long long>(engine.windows_executed()),
+              static_cast<unsigned long long>(engine.messages_routed()),
+              static_cast<unsigned long long>(engine.total_executed_events()),
+              static_cast<unsigned long long>(digest));
+}
+
 // The paper's stated future work: empirically evaluate migration-based
 // rejuvenation. Evacuate a host to a spare by live migration, rejuvenate
 // the (now empty) host, migrate everything back.
@@ -191,19 +244,28 @@ MigrationRow migration_based_once(sim::Rng rng) {
 
 int main(int argc, char** argv) {
   // --trace FILE: additionally run one observed cluster pass and write a
-  // Perfetto-loadable Chrome trace there. Stripped before SweepOptions so
-  // the default invocation (and its output) is untouched.
+  // Perfetto-loadable Chrome trace there. --workers N: run ONLY the
+  // partitioned-engine scenario and print its digest (CI diffs N=1 vs
+  // N=4). Both are stripped before SweepOptions so the default
+  // invocation (and its output) is untouched.
   std::string trace_path;
+  std::size_t par_workers = 0;
   std::vector<char*> rest = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      par_workers = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else {
       rest.push_back(argv[i]);
     }
   }
   const auto opt = rh::bench::SweepOptions::parse(
       static_cast<int>(rest.size()), rest.data());
+  if (par_workers > 0) {
+    parallel_once(par_workers, opt.root_seed);
+    return 0;
+  }
   rh::bench::print_header(
       "Figure 9 / Section 6: cluster throughput during rejuvenation");
   using rh::bench::fmt_ci;

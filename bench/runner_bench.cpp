@@ -120,6 +120,15 @@ int main(int argc, char** argv) {
 
   const std::size_t tasks = spec.points * spec.replications;
   const unsigned hw = std::thread::hardware_concurrency();
+  const bool degenerate = hw <= 1;
+  if (degenerate) {
+    std::fprintf(stderr,
+                 "WARNING: hardware_concurrency() == %u -- every thread "
+                 "count shares one core, so the speedups below are "
+                 "degenerate (~1.0x) and say nothing about the runner. "
+                 "Recording \"degenerate_scaling\": true.\n",
+                 hw);
+  }
   std::printf("replication-runner strong scaling: %zu points x %zu reps = "
               "%zu replications, hardware_concurrency %u\n\n",
               spec.points, spec.replications, tasks, hw);
@@ -167,6 +176,8 @@ int main(int argc, char** argv) {
           ",\n";
   json += "  \"total_replications\": " + std::to_string(tasks) + ",\n";
   json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json += std::string("  \"degenerate_scaling\": ") +
+          (degenerate ? "true" : "false") + ",\n";
   char buf[160];
   std::snprintf(buf, sizeof buf, "  \"sequential_seconds\": %.4f,\n",
                 seq.wall_seconds);

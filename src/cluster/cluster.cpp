@@ -12,9 +12,31 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
     : sim_(sim), config_(config) {
   ensure(config_.hosts >= 1, "Cluster: need at least one host");
   ensure(config_.vms_per_host >= 1, "Cluster: need at least one VM per host");
+  if (config_.engine != nullptr) {
+    ensure(config_.engine->partition_count() == config_.hosts + 1,
+           "Cluster: engine needs hosts + 1 partitions (control plane + one "
+           "per host)");
+    ensure(&sim_ == &config_.engine->partition(0),
+           "Cluster: sim must be the engine's control partition (0)");
+    // Every host reaches the control plane over its calibrated link; the
+    // minimum of those latencies is the engine's lookahead.
+    config_.engine->register_link(config_.calib.link.latency);
+    balancer_.bind_parallel(*config_.engine, /*self_partition=*/0,
+                            config_.calib.link.latency);
+    host_drivers_.resize(static_cast<std::size_t>(config_.hosts));
+    host_supervisors_.resize(static_cast<std::size_t>(config_.hosts));
+  }
   for (int h = 0; h < config_.hosts; ++h) {
+    sim::Simulation& host_sim = config_.engine != nullptr
+                                    ? config_.engine->partition(1 + h)
+                                    : sim_;
     hosts_.push_back(std::make_unique<vmm::Host>(
-        sim_, config_.calib, config_.seed + static_cast<std::uint64_t>(h)));
+        host_sim, config_.calib, config_.seed + static_cast<std::uint64_t>(h)));
+    // The host's uplink terminates at the control plane: deliveries cross
+    // the partition boundary through the engine's mailboxes.
+    if (config_.engine != nullptr) {
+      hosts_.back()->link().bind_remote(*config_.engine, /*dst_partition=*/0);
+    }
     // Arm fault injection (a no-op drawing nothing when all rates are
     // zero) before any other per-host RNG use, so the fault substream is
     // a fixed function of the host seed alone.
@@ -64,17 +86,36 @@ void Cluster::start(std::function<void()> on_ready) {
     for (auto& g : guests_[static_cast<std::size_t>(h)]) {
       guest::GuestOs* os = g.get();
       os->create_and_boot([this, os, remaining, shared_ready] {
-        auto* apache =
-            static_cast<guest::ApacheService*>(os->find_service("httpd"));
-        std::vector<std::int64_t> files;
-        for (std::size_t f = 0; f < os->vfs().file_count(); ++f) {
-          files.push_back(static_cast<std::int64_t>(f));
+        if (config_.engine != nullptr) {
+          // Boot completion fires on the host's partition; registration
+          // mutates balancer state, so it crosses to the control plane
+          // through the mailboxes (merge order makes it deterministic).
+          config_.engine->post(0, config_.calib.link.latency,
+                               [this, os, remaining, shared_ready] {
+            register_backend(os, remaining, shared_ready);
+          });
+          return;
         }
-        balancer_.add_backend({os, apache, std::move(files)});
-        if (--*remaining == 0) (*shared_ready)();
+        register_backend(os, remaining, shared_ready);
       });
     }
   }
+}
+
+void Cluster::register_backend(
+    guest::GuestOs* os, const std::shared_ptr<std::size_t>& remaining,
+    const std::shared_ptr<std::function<void()>>& ready) {
+  auto* apache = static_cast<guest::ApacheService*>(os->find_service("httpd"));
+  std::vector<std::int64_t> files;
+  for (std::size_t f = 0; f < os->vfs().file_count(); ++f) {
+    files.push_back(static_cast<std::int64_t>(f));
+  }
+  std::int32_t partition = -1;
+  if (config_.engine != nullptr) {
+    partition = os->host().sim().partition_id();
+  }
+  balancer_.add_backend({os, apache, std::move(files), partition});
+  if (--*remaining == 0) (*ready)();
 }
 
 void Cluster::rolling_rejuvenation(rejuv::RebootKind kind,
@@ -95,6 +136,10 @@ void Cluster::rejuvenate_from(std::size_t host_index, rejuv::RebootKind kind,
     on_done();
     return;
   }
+  if (config_.engine != nullptr) {
+    rejuvenate_remote(host_index, kind, std::move(on_done));
+    return;
+  }
   vmm::Host& h = *hosts_[host_index];
   obs::SpanId turn = obs::kNoSpan;
   if (h.obs().enabled()) {
@@ -112,6 +157,43 @@ void Cluster::rejuvenate_from(std::size_t host_index, rejuv::RebootKind kind,
     done_host.obs().set_ambient(obs::kNoSpan);
     rejuvenate_from(host_index + 1, kind, std::move(on_done));
   });
+}
+
+void Cluster::rejuvenate_remote(std::size_t host_index, rejuv::RebootKind kind,
+                                std::function<void()> on_done) {
+  // Control partition -> host partition hop. The driver is constructed,
+  // run and destroyed only in the host's partition context; the reply
+  // carries the measured duration by value so the control plane never
+  // reads driver state across the boundary.
+  config_.engine->post(
+      partition_of(static_cast<int>(host_index)), config_.calib.link.latency,
+      [this, host_index, kind, on_done = std::move(on_done)]() mutable {
+        vmm::Host& h = *hosts_[host_index];
+        obs::SpanId turn = obs::kNoSpan;
+        if (h.obs().enabled()) {
+          turn = h.obs().span_open(
+              h.sim().now(), obs::Phase::kRollingPass,
+              "rolling turn host " + std::to_string(host_index));
+          h.obs().set_ambient(turn);
+        }
+        auto& slot = host_drivers_[host_index];
+        slot = rejuv::make_reboot_driver(
+            kind, h, guests_of(static_cast<int>(host_index)));
+        slot->run([this, host_index, kind, turn,
+                   on_done = std::move(on_done)]() mutable {
+          vmm::Host& done_host = *hosts_[host_index];
+          done_host.obs().span_close(turn, done_host.sim().now());
+          done_host.obs().set_ambient(obs::kNoSpan);
+          const sim::Duration took =
+              host_drivers_[host_index]->total_duration();
+          config_.engine->post(0, config_.calib.link.latency,
+                               [this, host_index, kind, took,
+                                on_done = std::move(on_done)]() mutable {
+            durations_.push_back(took);
+            rejuvenate_from(host_index + 1, kind, std::move(on_done));
+          });
+        });
+      });
 }
 
 void Cluster::rolling_rejuvenation_supervised(
@@ -142,6 +224,10 @@ void Cluster::supervise_from(std::size_t host_index,
     } else {
       retry_evicted(0, 0, std::move(on_done));
     }
+    return;
+  }
+  if (config_.engine != nullptr) {
+    supervise_remote(host_index, std::move(on_done));
     return;
   }
   vmm::Host& h = *hosts_[host_index];
@@ -177,6 +263,49 @@ void Cluster::supervise_from(std::size_t host_index,
   });
 }
 
+void Cluster::supervise_remote(std::size_t host_index,
+                               std::function<void(const RollingReport&)> on_done) {
+  config_.engine->post(
+      partition_of(static_cast<int>(host_index)), config_.calib.link.latency,
+      [this, host_index, on_done = std::move(on_done)]() mutable {
+        vmm::Host& h = *hosts_[host_index];
+        obs::SpanId turn = obs::kNoSpan;
+        if (h.obs().enabled()) {
+          turn = h.obs().span_open(
+              h.sim().now(), obs::Phase::kRollingPass,
+              "rolling turn host " + std::to_string(host_index));
+          h.obs().set_ambient(turn);
+        }
+        auto& slot = host_supervisors_[host_index];
+        slot = std::make_unique<rejuv::Supervisor>(
+            h, guests_of(static_cast<int>(host_index)),
+            supervision_.supervisor);
+        slot->run([this, host_index, turn, on_done = std::move(on_done)](
+                      const rejuv::SupervisorReport& report) mutable {
+          vmm::Host& done_host = *hosts_[host_index];
+          done_host.obs().span_close(turn, done_host.sim().now());
+          done_host.obs().set_ambient(obs::kNoSpan);
+          // Reply carries the report by value: eviction/pressure flags
+          // and the rolling report are control-plane state.
+          config_.engine->post(0, config_.calib.link.latency,
+                               [this, host_index, report,
+                                on_done = std::move(on_done)]() mutable {
+            rolling_report_.passes.push_back(report);
+            durations_.push_back(report.total_duration());
+            if (!report.success) {
+              balancer_.set_host_evicted(hosts_[host_index].get(), true);
+              rolling_report_.evicted_hosts.push_back(host_index);
+              retry_queue_.push_back(host_index);
+            } else if (report.pressure.pressured) {
+              balancer_.set_host_pressured(hosts_[host_index].get(), true);
+              rolling_report_.pressured_hosts.push_back(host_index);
+            }
+            supervise_from(host_index + 1, std::move(on_done));
+          });
+        });
+      });
+}
+
 void Cluster::retry_evicted(std::size_t queue_index, int attempt,
                             std::function<void(const RollingReport&)> on_done) {
   if (queue_index == retry_queue_.size()) {
@@ -187,6 +316,10 @@ void Cluster::retry_evicted(std::size_t queue_index, int attempt,
   sim_.after(host_retry_backoff(attempt), [this, queue_index, attempt,
                                            host_index,
                                            on_done = std::move(on_done)]() mutable {
+    if (config_.engine != nullptr) {
+      recover_remote(queue_index, attempt, host_index, std::move(on_done));
+      return;
+    }
     active_supervisor_ = std::make_unique<rejuv::Supervisor>(
         *hosts_[host_index], guests_of(static_cast<int>(host_index)),
         supervision_.supervisor);
@@ -206,6 +339,40 @@ void Cluster::retry_evicted(std::size_t queue_index, int attempt,
           }
         });
   });
+}
+
+void Cluster::recover_remote(std::size_t queue_index, int attempt,
+                             std::size_t host_index,
+                             std::function<void(const RollingReport&)> on_done) {
+  config_.engine->post(
+      partition_of(static_cast<int>(host_index)), config_.calib.link.latency,
+      [this, queue_index, attempt, host_index,
+       on_done = std::move(on_done)]() mutable {
+        auto& slot = host_supervisors_[host_index];
+        slot = std::make_unique<rejuv::Supervisor>(
+            *hosts_[host_index], guests_of(static_cast<int>(host_index)),
+            supervision_.supervisor);
+        slot->recover([this, queue_index, attempt, host_index,
+                       on_done = std::move(on_done)](
+                          const rejuv::SupervisorReport& report) mutable {
+          config_.engine->post(
+              0, config_.calib.link.latency,
+              [this, queue_index, attempt, host_index, report,
+               on_done = std::move(on_done)]() mutable {
+                rolling_report_.passes.push_back(report);
+                if (report.success) {
+                  balancer_.set_host_evicted(hosts_[host_index].get(), false);
+                  rolling_report_.recovered_hosts.push_back(host_index);
+                  retry_evicted(queue_index + 1, 0, std::move(on_done));
+                } else if (attempt < supervision_.max_host_retries) {
+                  retry_evicted(queue_index, attempt + 1, std::move(on_done));
+                } else {
+                  rolling_report_.failed_hosts.push_back(host_index);
+                  retry_evicted(queue_index + 1, 0, std::move(on_done));
+                }
+              });
+        });
+      });
 }
 
 void Cluster::finish_rolling(std::function<void(const RollingReport&)> on_done) {

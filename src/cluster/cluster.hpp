@@ -34,6 +34,17 @@ class Cluster {
     /// observability is one predicted branch per site and the run stays
     /// byte-identical to pre-observability builds.
     bool observe = false;
+    /// Conservative parallel-in-run engine (DESIGN.md §11), non-owning.
+    /// When set it must have exactly hosts + 1 partitions: partition 0 is
+    /// the control plane (balancer + client fleet + rolling-pass control,
+    /// driven by the engine's partition(0) Simulation, which must be the
+    /// `sim` passed to the constructor) and host h lives on partition
+    /// 1 + h. All cross-host interaction then flows through the engine's
+    /// mailboxes; results are bitwise identical for any worker count, but
+    /// not byte-identical to the null-engine fast path (balancer RPCs
+    /// gain real link latency). Null (default): today's single-calendar
+    /// behaviour, byte-identical to historical runs.
+    sim::ParallelSimulation* engine = nullptr;
   };
 
   /// Knobs for the supervised rolling pass (rolling_rejuvenation_supervised).
@@ -73,8 +84,16 @@ class Cluster {
 
   /// Starts every host instantly, then creates and boots all VMs (taking
   /// simulated time); registers each VM's web server with the balancer.
-  /// `on_ready` fires when every backend answers.
+  /// `on_ready` fires when every backend answers. Call while the engine
+  /// (if any) is quiescent, then drive the engine: on_ready fires on the
+  /// control partition once the boot events have run.
   void start(std::function<void()> on_ready);
+
+  /// Partition carrying host `i` under the parallel engine (1 + i), or 0
+  /// when the cluster runs on a single calendar.
+  [[nodiscard]] std::int32_t partition_of(int i) const {
+    return config_.engine != nullptr ? 1 + i : 0;
+  }
 
   [[nodiscard]] int host_count() const { return config_.hosts; }
   [[nodiscard]] vmm::Host& host(int i);
@@ -86,7 +105,9 @@ class Cluster {
   /// given reboot strategy. `on_done` fires after the last host is back.
   /// Overlapping passes are an invariant violation: a second call while a
   /// pass is in flight would silently drop the first pass's driver
-  /// mid-reboot, so it fails fast instead.
+  /// mid-reboot, so it fails fast instead. Partitioned mode: invoke from
+  /// control-partition context (engine.run_on(0, ...)) -- each turn hops
+  /// to the host's partition and back through the mailboxes.
   void rolling_rejuvenation(rejuv::RebootKind kind, std::function<void()> on_done);
 
   /// Fault-tolerant rolling pass: each host runs under a rejuv::Supervisor
@@ -112,9 +133,22 @@ class Cluster {
   }
 
  private:
+  void register_backend(guest::GuestOs* os,
+                        const std::shared_ptr<std::size_t>& remaining,
+                        const std::shared_ptr<std::function<void()>>& ready);
   void rejuvenate_from(std::size_t host_index, rejuv::RebootKind kind,
                        std::function<void()> on_done);
+  /// Partitioned rolling turn: hops to the host's partition, runs the
+  /// reboot driver there, and posts the completion (with the measured
+  /// duration) back to the control partition.
+  void rejuvenate_remote(std::size_t host_index, rejuv::RebootKind kind,
+                         std::function<void()> on_done);
   void supervise_from(std::size_t host_index,
+                      std::function<void(const RollingReport&)> on_done);
+  void supervise_remote(std::size_t host_index,
+                        std::function<void(const RollingReport&)> on_done);
+  void recover_remote(std::size_t queue_index, int attempt,
+                      std::size_t host_index,
                       std::function<void(const RollingReport&)> on_done);
   void retry_evicted(std::size_t queue_index, int attempt,
                      std::function<void(const RollingReport&)> on_done);
@@ -128,6 +162,11 @@ class Cluster {
   LoadBalancer balancer_;
   std::unique_ptr<rejuv::RebootDriver> active_driver_;
   std::unique_ptr<rejuv::Supervisor> active_supervisor_;
+  /// Partitioned mode: per-host driver/supervisor slots, created and
+  /// destroyed only in the owning host's partition context (the window
+  /// barriers order those accesses against the control partition).
+  std::vector<std::unique_ptr<rejuv::RebootDriver>> host_drivers_;
+  std::vector<std::unique_ptr<rejuv::Supervisor>> host_supervisors_;
   std::vector<sim::Duration> durations_;
   bool rolling_in_progress_ = false;
   SupervisionConfig supervision_;

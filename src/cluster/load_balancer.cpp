@@ -10,7 +10,20 @@ void LoadBalancer::add_backend(Backend backend) {
   ensure(backend.os != nullptr && backend.apache != nullptr,
          "LoadBalancer: backend needs an OS and a service");
   ensure(!backend.files.empty(), "LoadBalancer: backend needs content");
+  ensure(backend.partition < 0 || engine_ != nullptr,
+         "LoadBalancer: remote backend without bind_parallel");
   backends_.push_back({std::move(backend), 0});
+}
+
+void LoadBalancer::bind_parallel(sim::ParallelSimulation& engine,
+                                 std::int32_t self_partition,
+                                 sim::Duration rpc_latency) {
+  ensure(engine_ == nullptr, "LoadBalancer::bind_parallel: already bound");
+  ensure(rpc_latency >= engine.lookahead(),
+         "LoadBalancer::bind_parallel: RPC latency below the lookahead");
+  engine_ = &engine;
+  self_partition_ = self_partition;
+  rpc_latency_ = rpc_latency;
 }
 
 std::size_t LoadBalancer::reachable_backends() const {
@@ -72,12 +85,73 @@ bool LoadBalancer::try_dispatch(bool allow_pressured,
 void LoadBalancer::dispatch(std::function<void(bool)> done) {
   ensure(static_cast<bool>(done), "LoadBalancer::dispatch: callback required");
   ensure(!backends_.empty(), "LoadBalancer::dispatch: no backends");
+  if (engine_ != nullptr) {
+    auto state = std::make_shared<RemoteDispatch>();
+    state->done = std::move(done);
+    state->allow_pressured = false;
+    state->probes_left = backends_.size();
+    remote_try_next(std::move(state));
+    return;
+  }
   // Pressured backends are a last resort: take them only when nothing
   // unpressured answers, rather than failing the request outright.
   if (try_dispatch(/*allow_pressured=*/false, done)) return;
   if (try_dispatch(/*allow_pressured=*/true, done)) return;
   ++rejected_;
   done(false);
+}
+
+void LoadBalancer::remote_try_next(std::shared_ptr<RemoteDispatch> state) {
+  // Administrative flags (evicted/pressured) are balancer-partition state
+  // and filter candidates synchronously; reachability lives on the
+  // backend's host and needs a round trip.
+  while (state->probes_left > 0) {
+    const std::size_t index = rr_ % backends_.size();
+    ++rr_;
+    --state->probes_left;
+    Slot& slot = backends_[index];
+    if (slot.evicted) continue;
+    if (slot.pressured && !state->allow_pressured) continue;
+    // Capture the backend by raw pointers, never by Slot reference:
+    // add_backend on the balancer partition may reallocate backends_
+    // while this probe is in flight on the host partition.
+    guest::GuestOs* os = slot.backend.os;
+    guest::ApacheService* apache = slot.backend.apache;
+    const std::int64_t file =
+        slot.backend.files[slot.next_file % slot.backend.files.size()];
+    ++slot.next_file;
+    const std::int32_t backend_partition =
+        slot.backend.partition >= 0 ? slot.backend.partition : self_partition_;
+    engine_->post(backend_partition, rpc_latency_,
+                  [this, os, apache, file, state = std::move(state)]() mutable {
+      // Host partition: probe + serve. Only post()s back from here --
+      // balancer state must not be touched host-side.
+      if (!os->service_reachable(*apache)) {
+        engine_->post(self_partition_, rpc_latency_,
+                      [this, state = std::move(state)]() mutable {
+          remote_try_next(std::move(state));
+        });
+        return;
+      }
+      apache->serve_file(*os, file,
+                         [this, state = std::move(state)](bool ok) mutable {
+        engine_->post(self_partition_, rpc_latency_,
+                      [this, ok, state = std::move(state)]() mutable {
+          ++dispatched_;
+          state->done(ok);
+        });
+      });
+    });
+    return;
+  }
+  if (!state->allow_pressured) {
+    state->allow_pressured = true;
+    state->probes_left = backends_.size();
+    remote_try_next(std::move(state));
+    return;
+  }
+  ++rejected_;
+  state->done(false);
 }
 
 ClusterClientFleet::ClusterClientFleet(sim::Simulation& sim,

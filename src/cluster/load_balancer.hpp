@@ -9,10 +9,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "guest/apache.hpp"
 #include "guest/guest_os.hpp"
+#include "simcore/parallel.hpp"
 #include "simcore/time_series.hpp"
 
 namespace rh::cluster {
@@ -23,11 +25,27 @@ class LoadBalancer {
     guest::GuestOs* os = nullptr;
     guest::ApacheService* apache = nullptr;
     std::vector<std::int64_t> files;  ///< replicated content on this backend
+    /// Event partition the backend's host lives on (-1 = same partition
+    /// as the balancer, i.e. the sequential fast path).
+    std::int32_t partition = -1;
   };
 
   void add_backend(Backend backend);
 
+  /// Partitioned mode: the balancer lives on `self_partition` of `engine`
+  /// and reaches backends on other partitions via request/reply RPCs with
+  /// one-way latency `rpc_latency` (>= the engine lookahead). In this
+  /// mode dispatch() must be called from inside partition execution
+  /// (seed control flow with ParallelSimulation::run_on), reachability is
+  /// probed host-side, and a backend's file cursor advances per *attempt*
+  /// rather than per served request -- deterministic, but not
+  /// byte-identical to the sequential path (RPC hops add 2x latency).
+  void bind_parallel(sim::ParallelSimulation& engine, std::int32_t self_partition,
+                     sim::Duration rpc_latency);
+
   [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
+  /// Counts backends answering right now. Reads host-side state, so in
+  /// partitioned mode call it only while the engine is quiescent.
   [[nodiscard]] std::size_t reachable_backends() const;
 
   /// Administratively removes (or restores) every backend on `host` from
@@ -63,11 +81,24 @@ class LoadBalancer {
     bool evicted = false;
     bool pressured = false;
   };
+  /// One in-flight partitioned dispatch: candidates are probed one RPC at
+  /// a time (the balancer cannot read a remote host's reachability
+  /// synchronously), unpressured backends first, pressured as a last
+  /// resort -- the same two-phase policy as the sequential path.
+  struct RemoteDispatch {
+    std::function<void(bool)> done;
+    bool allow_pressured = false;
+    std::size_t probes_left = 0;
+  };
   bool try_dispatch(bool allow_pressured, std::function<void(bool)>& done);
+  void remote_try_next(std::shared_ptr<RemoteDispatch> state);
   std::vector<Slot> backends_;
   std::size_t rr_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t rejected_ = 0;
+  sim::ParallelSimulation* engine_ = nullptr;
+  std::int32_t self_partition_ = -1;
+  sim::Duration rpc_latency_ = 0;
 };
 
 /// Closed-loop client fleet driving the whole cluster through the

@@ -14,6 +14,13 @@ void VmMigrator::migrate(guest::GuestOs& vm, vmm::Host& dst,
          "VmMigrator: VM must be running");
   vmm::Host& src = vm.host();
   ensure(&src != &dst, "VmMigrator: source and destination are the same host");
+  // Migration mutates both hosts synchronously (allocator checks, rebind,
+  // restore), which only stays race-free when both calendars are the same
+  // partition. Cross-partition migration would need an ownership-transfer
+  // protocol through the engine mailboxes -- rejected loudly until then.
+  ensure(src.sim().partition_id() == dst.sim().partition_id(),
+         "VmMigrator: cross-partition migration is not supported -- "
+         "co-locate the hosts on one partition");
   ensure(src.up() && dst.up(), "VmMigrator: both hosts must be up");
   ensure(config_.effective_bps > config_.dirty_bps,
          "VmMigrator: dirty rate exceeds transfer rate");

@@ -1,0 +1,209 @@
+// Conservative synchronous parallel DES engine (PDES core).
+//
+// The sequential Simulation runs one calendar queue on one thread; a
+// 1000-host cluster therefore saturates exactly one core no matter how
+// many replications run in parallel. This engine partitions the event
+// space (one Simulation -- calendar queue plus local clock -- per
+// partition, in the cluster one partition per host plus one for the
+// control plane) and executes partitions concurrently under the classic
+// conservative synchronous-window protocol:
+//
+//   - partitions interact only through links with positive one-way
+//     latency; the minimum latency over all inter-partition links is the
+//     *lookahead* L;
+//   - each iteration the leader computes T = min over partitions of the
+//     next event time and opens the safe window [T, T + L): every event
+//     in the window can be executed without ever receiving a message
+//     that would have to land inside it, because a message sent at
+//     s >= T travels at least L and so arrives at s + L >= T + L;
+//   - partitions execute their window events in parallel on the PR-2
+//     exp::ThreadPool (static partition -> worker assignment, so the
+//     intra-partition event order never depends on scheduling);
+//   - cross-partition sends (post()) are appended to the sending
+//     partition's outbox and, at the window barrier, merged into the
+//     destination calendars in (time, dst, src, seq) order -- a total
+//     order independent of worker count, so 1-worker and N-worker runs
+//     are bitwise identical.
+//
+// Determinism contract: a run's observable state is a pure function of
+// (initial state, partitioning, lookahead); the worker count only moves
+// wall-clock time. The `pdes` test suite pins this with digest grids.
+//
+// Zero lookahead is rejected loudly: with L == 0 no window can make
+// progress without risking a straggler message, which is exactly the
+// situation conservative PDES cannot execute in parallel.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simcore/inline_callback.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/types.hpp"
+
+namespace rh::exp {
+class ThreadPool;
+}  // namespace rh::exp
+
+namespace rh::sim {
+
+/// Sense-reversing barrier for the window loop: short spin (the windows
+/// are microseconds of work, so the partners are usually already there),
+/// then a condvar park so an oversubscribed or 1-core box does not burn
+/// its only core spinning.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) : parties_(parties) {}
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait();
+
+ private:
+  std::size_t parties_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+class ParallelSimulation {
+ public:
+  struct Config {
+    /// Number of event partitions (>= 1). The cluster uses hosts + 1:
+    /// partition 0 is the control plane (balancer, client fleet, rolling
+    /// pass), partition 1 + h is host h.
+    std::int32_t partitions = 1;
+    /// Worker threads executing windows. 0 = one per hardware thread;
+    /// clamped to [1, partitions]. Worker 0 is the calling thread; the
+    /// rest run as long-lived exp::ThreadPool tasks.
+    std::size_t workers = 1;
+    /// Explicit lookahead override in microseconds. 0 (default) derives
+    /// the lookahead from register_link() calls instead.
+    Duration lookahead = 0;
+  };
+
+  explicit ParallelSimulation(Config config);
+  ~ParallelSimulation();
+  ParallelSimulation(const ParallelSimulation&) = delete;
+  ParallelSimulation& operator=(const ParallelSimulation&) = delete;
+
+  [[nodiscard]] std::int32_t partition_count() const {
+    return static_cast<std::int32_t>(partitions_.size());
+  }
+  [[nodiscard]] std::size_t worker_count() const { return workers_; }
+  [[nodiscard]] Simulation& partition(std::int32_t p);
+
+  /// Declares an inter-partition link with the given one-way latency;
+  /// the engine's lookahead is the minimum over every declared link (or
+  /// Config::lookahead when set). Zero/negative latency is rejected: it
+  /// would make the safe window empty.
+  void register_link(Duration one_way_latency);
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Cross-partition send: schedules `fn` on partition `dst` at
+  /// (sending partition's now() + delay). Must be called from inside a
+  /// partition's window execution (the sending partition is implicit),
+  /// and `delay` must be >= lookahead() -- the conservative protocol's
+  /// safety condition. Sends to the executing partition itself take the
+  /// inline fast path (a plain local schedule, no mailbox).
+  void post(std::int32_t dst, Duration delay, InlineCallback fn);
+
+  /// Seeds partition `p` with an event at its current local time. Only
+  /// valid while the engine is quiescent (between runs); this is how
+  /// benches inject control actions (start the fleet, kick a rolling
+  /// pass) so they execute in partition context.
+  void run_on(std::int32_t p, InlineCallback fn);
+
+  /// Runs windows until every event with time <= deadline has executed,
+  /// then advances every partition clock to `deadline` (the windowed
+  /// analogue of Simulation::run_until).
+  void run_until(SimTime deadline);
+
+  /// Runs windows while `keep_going()` returns true (evaluated by the
+  /// leader at each window barrier -- deterministic, because barriers
+  /// happen at the same simulated times for any worker count). Stops on
+  /// its own when the event space drains empty.
+  void run_while(const std::function<bool()>& keep_going);
+
+  /// True between run_until()/run_while() entry and exit.
+  [[nodiscard]] bool running() const { return running_; }
+
+  // ------------------------------------------------------------- stats
+  [[nodiscard]] std::uint64_t windows_executed() const { return windows_; }
+  [[nodiscard]] std::uint64_t messages_routed() const { return messages_; }
+  /// Sum of every partition's executed event count. Quiescent only.
+  [[nodiscard]] std::uint64_t total_executed_events() const;
+  /// End of the currently open safe window (test hook; meaningful only
+  /// mid-run, otherwise SimTime minimum).
+  [[nodiscard]] SimTime safe_horizon() const {
+    return horizon_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr SimTime kNoHorizon = std::numeric_limits<SimTime>::min();
+  static constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::max();
+
+  /// One cross-partition message. seq is a per-sender counter, so the
+  /// (time, dst, src, seq) sort key is a total order and preserves each
+  /// sender's program order.
+  struct Message {
+    SimTime time = 0;
+    std::int32_t dst = 0;
+    std::int32_t src = 0;
+    std::uint64_t seq = 0;
+    InlineCallback fn;
+  };
+
+  /// Cache-line aligned so one worker's outbox appends and calendar
+  /// operations never false-share with a neighbour partition's.
+  struct alignas(64) Partition {
+    Simulation sim;
+    std::vector<Message> outbox;
+    std::uint64_t next_seq = 1;
+  };
+
+  void run_loop(SimTime deadline, const std::function<bool()>* keep_going);
+  void participant_loop(std::size_t worker);
+  /// Leader-only, between barriers: drains outboxes, merges messages in
+  /// (time, dst, src, seq) order, then either opens the next window or
+  /// raises done_.
+  void plan();
+  void capture_failure() noexcept;
+
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::size_t workers_ = 1;
+  Duration lookahead_ = 0;
+  bool lookahead_fixed_ = false;  // Config::lookahead override in force
+
+  std::unique_ptr<exp::ThreadPool> pool_;
+  SpinBarrier barrier_;
+
+  // Window-loop state. Written by the leader strictly between barriers,
+  // read by every participant after the next barrier, so plain fields
+  // are race-free; horizon_ is atomic because the cross-partition
+  // schedule guard reads it from inside windows.
+  bool running_ = false;
+  bool done_ = false;
+  SimTime window_end_ = 0;
+  bool window_inclusive_ = false;
+  SimTime deadline_ = kNoDeadline;
+  const std::function<bool()>* keep_going_ = nullptr;
+  std::atomic<SimTime> horizon_{kNoHorizon};
+  std::vector<Message> merge_buf_;
+
+  std::mutex failure_mu_;
+  std::exception_ptr failure_;
+
+  std::uint64_t windows_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace rh::sim

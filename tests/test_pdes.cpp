@@ -1,0 +1,299 @@
+// Conservative parallel DES engine (DESIGN.md §11): safe-window
+// computation, mailbox merge order, zero-lookahead rejection, the
+// cross-partition scheduling guard, and the bitwise 1-vs-N-worker digest
+// contract on the fig9 cluster topology.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/vm_migrator.hpp"
+#include "simcore/check.hpp"
+#include "simcore/parallel.hpp"
+
+namespace {
+
+using namespace rh;
+
+TEST(PdesEngine, LookaheadIsMinRegisteredLink) {
+  sim::ParallelSimulation eng({.partitions = 3, .workers = 1});
+  eng.register_link(500);
+  eng.register_link(300);
+  eng.register_link(450);
+  EXPECT_EQ(eng.lookahead(), 300);
+}
+
+TEST(PdesEngine, ExplicitLookaheadOverridesLinks) {
+  sim::ParallelSimulation eng(
+      {.partitions = 2, .workers = 1, .lookahead = 250});
+  eng.register_link(100);  // ignored: Config::lookahead is in force
+  EXPECT_EQ(eng.lookahead(), 250);
+}
+
+TEST(PdesEngine, ZeroLookaheadRejected) {
+  sim::ParallelSimulation eng({.partitions = 2, .workers = 1});
+  EXPECT_THROW(eng.register_link(0), InvariantViolation);
+  EXPECT_THROW(eng.register_link(-5), InvariantViolation);
+  // No links registered at all: the engine cannot open any safe window.
+  EXPECT_THROW(eng.run_until(10), InvariantViolation);
+}
+
+TEST(PdesEngine, CrossPartitionPostBelowLookaheadThrows) {
+  sim::ParallelSimulation eng(
+      {.partitions = 2, .workers = 1, .lookahead = 100});
+  eng.run_on(0, [&eng] { eng.post(1, 99, [] {}); });
+  EXPECT_THROW(eng.run_until(1000), InvariantViolation);
+}
+
+TEST(PdesEngine, SamePartitionPostMayUndercutLookahead) {
+  sim::ParallelSimulation eng(
+      {.partitions = 2, .workers = 1, .lookahead = 100});
+  bool fired = false;
+  eng.run_on(0, [&eng, &fired] { eng.post(0, 1, [&fired] { fired = true; }); });
+  eng.run_until(1000);
+  EXPECT_TRUE(fired);
+}
+
+TEST(PdesEngine, PostOutsidePartitionContextThrows) {
+  sim::ParallelSimulation eng(
+      {.partitions = 2, .workers = 1, .lookahead = 100});
+  EXPECT_THROW(eng.post(1, 200, [] {}), InvariantViolation);
+}
+
+TEST(PdesEngine, MessageArrivesAtSendTimePlusDelay) {
+  sim::ParallelSimulation eng(
+      {.partitions = 2, .workers = 1, .lookahead = 300});
+  sim::SimTime arrived_at = -1;
+  eng.run_on(0, [&] { eng.post(1, 300, [&] { arrived_at = eng.partition(1).now(); }); });
+  eng.run_until(1000);
+  EXPECT_EQ(arrived_at, 300);
+  EXPECT_EQ(eng.messages_routed(), 1u);
+  EXPECT_EQ(eng.partition(0).now(), 1000);
+  EXPECT_EQ(eng.partition(1).now(), 1000);
+}
+
+TEST(PdesEngine, RunUntilExecutesEventsExactlyAtDeadline) {
+  sim::ParallelSimulation eng(
+      {.partitions = 2, .workers = 1, .lookahead = 100});
+  bool fired = false;
+  eng.run_on(0, [&] { eng.partition(0).after(250, [&fired] { fired = true; }); });
+  eng.run_until(250);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(eng.partition(0).now(), 250);
+  EXPECT_EQ(eng.partition(1).now(), 250);
+}
+
+// Same-time cross-partition deliveries must merge in (time, dst, src,
+// seq) order -- per-sender program order preserved, senders ordered by
+// partition id -- for every worker count.
+TEST(PdesEngine, MailboxMergeOrderIsTimeDstSrcSeq) {
+  std::vector<std::vector<std::pair<int, int>>> logs;
+  for (std::size_t workers : {1u, 2u, 3u}) {
+    sim::ParallelSimulation eng(
+        {.partitions = 3, .workers = workers, .lookahead = 100});
+    std::vector<std::pair<int, int>> log;
+    // Seed partition 2 first: arrival order must come from the sort key,
+    // not from seeding or execution order.
+    eng.run_on(2, [&] {
+      eng.post(0, 100, [&log] { log.emplace_back(2, 0); });
+      eng.post(0, 100, [&log] { log.emplace_back(2, 1); });
+    });
+    eng.run_on(1, [&] {
+      eng.post(0, 100, [&log] { log.emplace_back(1, 0); });
+      eng.post(0, 100, [&log] { log.emplace_back(1, 1); });
+    });
+    eng.run_until(500);
+    logs.push_back(std::move(log));
+  }
+  const std::vector<std::pair<int, int>> want = {{1, 0}, {1, 1}, {2, 0}, {2, 1}};
+  for (const auto& log : logs) EXPECT_EQ(log, want);
+}
+
+TEST(PdesEngine, CrossPartitionAtBelowHorizonThrowsLoudly) {
+  sim::ParallelSimulation eng(
+      {.partitions = 2, .workers = 1, .lookahead = 100});
+  // A partition-0 event reaching directly into partition 1's calendar
+  // below the published safe horizon: must fail loudly, never reorder.
+  eng.run_on(0, [&eng] { eng.partition(1).at(5, [] {}); });
+  EXPECT_THROW(eng.run_until(1000), InvariantViolation);
+}
+
+TEST(PdesEngine, QuiescentSchedulingIsUnrestricted) {
+  sim::ParallelSimulation eng(
+      {.partitions = 2, .workers = 1, .lookahead = 100});
+  // Setup-time scheduling from the main thread onto any partition is
+  // legal: the horizon is parked at SimTime minimum while quiescent.
+  bool fired = false;
+  eng.partition(1).at(5, [&fired] { fired = true; });
+  eng.run_until(10);
+  EXPECT_TRUE(fired);
+}
+
+TEST(PdesEngine, RunWhileStopsAtPredicateAndDrain) {
+  sim::ParallelSimulation eng(
+      {.partitions = 2, .workers = 2, .lookahead = 100});
+  int ticks = 0;
+  eng.run_on(0, [&] {
+    // Self-rescheduling ticker: only the predicate can stop it.
+    struct Tick {
+      sim::ParallelSimulation& eng;
+      int& ticks;
+      void operator()() {
+        ++ticks;
+        eng.partition(0).after(1000, Tick{eng, ticks});
+      }
+    };
+    Tick{eng, ticks}();
+  });
+  eng.run_while([&ticks] { return ticks < 5; });
+  EXPECT_GE(ticks, 5);
+  // Drained-empty stop: no events at all ends the run instead of hanging.
+  sim::ParallelSimulation idle(
+      {.partitions = 2, .workers = 1, .lookahead = 100});
+  idle.run_while([] { return true; });
+  EXPECT_EQ(idle.windows_executed(), 0u);
+}
+
+// ------------------------------------------------------ run_window units
+
+TEST(SimulationWindow, RunWindowIsHalfOpenByDefault) {
+  sim::Simulation s;
+  bool inside = false, boundary = false;
+  s.at(5, [&inside] { inside = true; });
+  s.at(10, [&boundary] { boundary = true; });
+  s.run_window(10);
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(boundary);
+  EXPECT_EQ(s.now(), 10);
+  s.run_window(10, /*inclusive=*/true);
+  EXPECT_TRUE(boundary);
+}
+
+TEST(SimulationWindow, AdvanceToRefusesToSkipEvents) {
+  sim::Simulation s;
+  s.at(7, [] {});
+  EXPECT_THROW(s.advance_to(7), InvariantViolation);
+  s.run_window(8);
+  s.advance_to(20);
+  EXPECT_EQ(s.now(), 20);
+}
+
+// --------------------------------------------- fig9-topology digest grid
+
+struct ClusterDigest {
+  std::uint64_t h = 0;
+  void mix(std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+};
+
+enum class Variant { kPlain, kFaults, kObserve };
+
+std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
+  sim::ParallelSimulation engine({.partitions = 4, .workers = workers});
+  cluster::Cluster::Config cfg;
+  cfg.hosts = 3;
+  cfg.vms_per_host = 2;
+  cfg.files_per_vm = 8;
+  cfg.file_size = 64 * sim::kKiB;
+  cfg.engine = &engine;
+  if (variant == Variant::kFaults) {
+    cfg.faults = fault::FaultConfig::uniform(0.05);
+  }
+  cfg.observe = variant == Variant::kObserve;
+  cluster::Cluster cl(engine.partition(0), cfg);
+
+  bool ready = false;
+  cl.start([&ready] { ready = true; });
+  engine.run_while([&ready] { return !ready; });
+
+  cluster::ClusterClientFleet fleet(engine.partition(0), cl.balancer(),
+                                    {.connections = 8});
+  engine.run_on(0, [&fleet] { fleet.start(); });
+  engine.run_until(engine.partition(0).now() + 10 * sim::kSecond);
+
+  bool done = false;
+  if (variant == Variant::kFaults) {
+    engine.run_on(0, [&cl, &done] {
+      cl.rolling_rejuvenation_supervised(
+          {}, [&done](const cluster::Cluster::RollingReport&) { done = true; });
+    });
+  } else {
+    engine.run_on(0, [&cl, &done] {
+      cl.rolling_rejuvenation(rejuv::RebootKind::kWarm,
+                              [&done] { done = true; });
+    });
+  }
+  engine.run_while([&done] { return !done; });
+  engine.run_until(engine.partition(0).now() + 20 * sim::kSecond);
+
+  ClusterDigest d;
+  for (std::int32_t p = 0; p < engine.partition_count(); ++p) {
+    d.mix(static_cast<std::uint64_t>(engine.partition(p).now()));
+    d.mix(engine.partition(p).executed_events());
+  }
+  d.mix(static_cast<std::uint64_t>(fleet.completions().total()));
+  d.mix(cl.balancer().dispatched());
+  d.mix(cl.balancer().rejected());
+  for (const auto dur : cl.rejuvenation_durations()) {
+    d.mix(static_cast<std::uint64_t>(dur));
+  }
+  if (variant == Variant::kFaults) {
+    const auto& report = cl.last_rolling_report();
+    d.mix(report.passes.size());
+    d.mix(report.evicted_hosts.size());
+    d.mix(report.recovered_hosts.size());
+    d.mix(report.failed_hosts.size());
+    d.mix(report.pressured_hosts.size());
+  }
+  for (int h = 0; h < cfg.hosts; ++h) {
+    d.mix(cl.host(h).obs().spans().records().size());
+    d.mix(cl.host(h).obs().events().size());
+    d.mix(cl.host(h).vmm_generation());
+  }
+  d.mix(engine.messages_routed());
+  return d.h;
+}
+
+class PdesClusterDigestGrid : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(PdesClusterDigestGrid, OneVsNWorkersBitwiseIdentical) {
+  const std::uint64_t one = cluster_digest(1, GetParam());
+  EXPECT_EQ(cluster_digest(2, GetParam()), one);
+  EXPECT_EQ(cluster_digest(4, GetParam()), one);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig9Topology, PdesClusterDigestGrid,
+                         ::testing::Values(Variant::kPlain, Variant::kFaults,
+                                           Variant::kObserve),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kPlain: return "plain";
+                             case Variant::kFaults: return "faults";
+                             case Variant::kObserve: return "observe";
+                           }
+                           return "unknown";
+                         });
+
+TEST(PdesCluster, CrossPartitionMigrationRejected) {
+  sim::ParallelSimulation engine(
+      {.partitions = 3, .workers = 1, .lookahead = 200});
+  cluster::Cluster::Config cfg;
+  cfg.hosts = 2;
+  cfg.vms_per_host = 1;
+  cfg.files_per_vm = 2;
+  cfg.engine = &engine;
+  cluster::Cluster cl(engine.partition(0), cfg);
+  bool ready = false;
+  cl.start([&ready] { ready = true; });
+  engine.run_while([&ready] { return !ready; });
+
+  cluster::VmMigrator migrator;
+  EXPECT_THROW(migrator.migrate(cl.guest(0, 0), cl.host(1),
+                                [](const cluster::VmMigrator::Result&) {}),
+               InvariantViolation);
+}
+
+}  // namespace
