@@ -10,7 +10,13 @@
 // exits non-zero otherwise. Emits BENCH_pdes.json. Usage:
 //
 //   pdes_bench [--hosts H] [--vms V] [--sim-seconds S] [--connections C]
-//              [--workers LIST] [--lookahead-us LIST] [--out PATH] [--quick]
+//              [--workers LIST] [--lookahead-us LIST] [--reps N]
+//              [--out PATH] [--quick]
+//
+// Each strong-scaling row is the minimum wall time over --reps identical
+// runs (default 3): the min is the standard noise filter for a shared
+// machine, and since every repetition must reproduce the same digest the
+// extra runs double as a determinism soak.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -104,6 +110,29 @@ RunResult run_once(const RunConfig& rc) {
   return r;
 }
 
+/// Runs the same configuration `reps` times and keeps the fastest wall
+/// time. All repetitions must agree bit-for-bit on the digest (same
+/// config, same engine, zero tolerance); a mismatch poisons the digest so
+/// the cross-worker equality check below fails loudly.
+RunResult run_best_of(const RunConfig& rc, int reps) {
+  RunResult best = run_once(rc);
+  for (int rep = 1; rep < reps; ++rep) {
+    RunResult r = run_once(rc);
+    if (r.digest != best.digest) {
+      std::fprintf(stderr,
+                   "ERROR: repetition %d of workers=%zu produced digest "
+                   "%016llx, expected %016llx -- run is nondeterministic\n",
+                   rep + 1, rc.workers,
+                   static_cast<unsigned long long>(r.digest),
+                   static_cast<unsigned long long>(best.digest));
+      best.digest = ~best.digest;
+      return best;
+    }
+    if (r.wall_seconds < best.wall_seconds) best = r;
+  }
+  return best;
+}
+
 std::vector<long> parse_list(const char* s) {
   std::vector<long> out;
   while (*s != '\0') {
@@ -120,6 +149,7 @@ int main(int argc, char** argv) {
   RunConfig base;
   std::vector<long> workers = {1, 2, 4, 8};
   std::vector<long> lookaheads = {50, 100, 200, 400, 800};
+  int reps = 3;
   std::string out_path = "BENCH_pdes.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
@@ -134,6 +164,8 @@ int main(int argc, char** argv) {
       workers = parse_list(argv[++i]);
     } else if (std::strcmp(argv[i], "--lookahead-us") == 0 && i + 1 < argc) {
       lookaheads = parse_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
@@ -141,11 +173,12 @@ int main(int argc, char** argv) {
       base.sim_seconds = 5.0;
       workers = {1, 2};
       lookaheads = {100, 400};
+      reps = 1;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--hosts H] [--vms V] [--sim-seconds S] "
                    "[--connections C] [--workers LIST] [--lookahead-us LIST] "
-                   "[--out PATH] [--quick]\n",
+                   "[--reps N] [--out PATH] [--quick]\n",
                    argv[0]);
       return 2;
     }
@@ -168,14 +201,15 @@ int main(int argc, char** argv) {
               static_cast<long long>(base.link_latency_us), hw);
 
   // ------------------------------------------------------ strong scaling
-  std::printf("  strong scaling (one run, varying workers):\n");
+  std::printf("  strong scaling (min of %d rep%s per row, varying workers):\n",
+              reps, reps == 1 ? "" : "s");
   std::printf("  %8s %12s %10s %12s %12s %10s\n", "workers", "wall (s)",
               "speedup", "windows", "messages", "digest");
   std::vector<RunResult> scaling;
   for (const long w : workers) {
     RunConfig rc = base;
     rc.workers = static_cast<std::size_t>(std::max(1l, w));
-    scaling.push_back(run_once(rc));
+    scaling.push_back(run_best_of(rc, reps));
     const RunResult& r = scaling.back();
     std::printf("  %8ld %12.3f %9.2fx %12llu %12llu   %08llx\n", w,
                 r.wall_seconds, scaling.front().wall_seconds / r.wall_seconds,
@@ -224,11 +258,12 @@ int main(int argc, char** argv) {
                 "  \"hosts\": %d,\n  \"vms_per_host\": %d,\n"
                 "  \"sim_seconds\": %.2f,\n  \"connections\": %d,\n"
                 "  \"lookahead_us_default\": %lld,\n"
+                "  \"reps\": %d,\n"
                 "  \"hardware_concurrency\": %u,\n"
                 "  \"degenerate_scaling\": %s,\n",
                 base.hosts, base.vms_per_host, base.sim_seconds,
                 base.connections > 0 ? base.connections : 2 * base.hosts,
-                static_cast<long long>(base.link_latency_us), hw,
+                static_cast<long long>(base.link_latency_us), reps, hw,
                 degenerate ? "true" : "false");
   json += buf;
   json += "  \"strong_scaling\": [\n";

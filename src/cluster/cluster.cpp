@@ -1,5 +1,7 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -12,10 +14,12 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
     : sim_(sim), config_(config) {
   ensure(config_.hosts >= 1, "Cluster: need at least one host");
   ensure(config_.vms_per_host >= 1, "Cluster: need at least one VM per host");
+  ensure(config_.shards >= 0, "Cluster: negative shard count");
   if (config_.engine != nullptr) {
-    ensure(config_.engine->partition_count() == config_.hosts + 1,
-           "Cluster: engine needs hosts + 1 partitions (control plane + one "
-           "per host)");
+    ensure(config_.engine->partition_count() ==
+               1 + config_.shards + config_.hosts,
+           "Cluster: engine needs 1 + shards + hosts partitions (control "
+           "plane, one per balancer shard, one per host)");
     ensure(&sim_ == &config_.engine->partition(0),
            "Cluster: sim must be the engine's control partition (0)");
     // Every host reaches the control plane over its calibrated link; the
@@ -23,12 +27,22 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
     config_.engine->register_link(config_.calib.link.latency);
     balancer_.bind_parallel(*config_.engine, /*self_partition=*/0,
                             config_.calib.link.latency);
-    host_drivers_.resize(static_cast<std::size_t>(config_.hosts));
     host_supervisors_.resize(static_cast<std::size_t>(config_.hosts));
+  }
+  // Waves launch several drivers concurrently, so per-host slots are
+  // needed in sequential mode too.
+  host_drivers_.resize(static_cast<std::size_t>(config_.hosts));
+  if (config_.shards > 0) {
+    sharded_ =
+        std::make_unique<ShardedBalancer>(static_cast<std::size_t>(config_.shards));
+    if (config_.engine != nullptr) {
+      sharded_->bind_parallel(*config_.engine, /*first_shard_partition=*/1,
+                              config_.calib.link.latency);
+    }
   }
   for (int h = 0; h < config_.hosts; ++h) {
     sim::Simulation& host_sim = config_.engine != nullptr
-                                    ? config_.engine->partition(1 + h)
+                                    ? config_.engine->partition(partition_of(h))
                                     : sim_;
     hosts_.push_back(std::make_unique<vmm::Host>(
         host_sim, config_.calib, config_.seed + static_cast<std::uint64_t>(h)));
@@ -51,6 +65,19 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
       g->add_service(std::make_unique<guest::ApacheService>());
       for (int f = 0; f < config_.files_per_vm; ++f) {
         g->vfs().create_file("doc" + std::to_string(f), config_.file_size);
+      }
+      if (sharded_ != nullptr) {
+        // The sharded balancer probes reachability live (a request to a
+        // still-booting VM fails and the session retries), so backends
+        // register at construction instead of boot completion.
+        auto* apache =
+            static_cast<guest::ApacheService*>(g->find_service("httpd"));
+        std::vector<std::int64_t> files;
+        for (int f = 0; f < config_.files_per_vm; ++f) files.push_back(f);
+        sharded_->add_backend({g.get(), apache, std::move(files),
+                               static_cast<std::size_t>(h),
+                               config_.engine != nullptr ? partition_of(h)
+                                                         : -1});
       }
       guests_.back().push_back(std::move(g));
     }
@@ -249,14 +276,14 @@ void Cluster::supervise_from(std::size_t host_index,
     if (!report.success) {
       // The ladder exhausted on this host: take its backends out of
       // rotation and queue it for an end-of-pass retry. The pass goes on.
-      balancer_.set_host_evicted(hosts_[host_index].get(), true);
+      set_host_out_of_rotation(host_index, true);
       rolling_report_.evicted_hosts.push_back(host_index);
       retry_queue_.push_back(host_index);
     } else if (report.pressure.pressured) {
       // The host came back, but only by shedding preserved memory: its
       // admission controller had to reclaim or demote. Drain load away
       // from it rather than feeding the overcommit.
-      balancer_.set_host_pressured(hosts_[host_index].get(), true);
+      set_host_backpressured(host_index, true);
       rolling_report_.pressured_hosts.push_back(host_index);
     }
     supervise_from(host_index + 1, std::move(on_done));
@@ -293,11 +320,11 @@ void Cluster::supervise_remote(std::size_t host_index,
             rolling_report_.passes.push_back(report);
             durations_.push_back(report.total_duration());
             if (!report.success) {
-              balancer_.set_host_evicted(hosts_[host_index].get(), true);
+              set_host_out_of_rotation(host_index, true);
               rolling_report_.evicted_hosts.push_back(host_index);
               retry_queue_.push_back(host_index);
             } else if (report.pressure.pressured) {
-              balancer_.set_host_pressured(hosts_[host_index].get(), true);
+              set_host_backpressured(host_index, true);
               rolling_report_.pressured_hosts.push_back(host_index);
             }
             supervise_from(host_index + 1, std::move(on_done));
@@ -328,7 +355,7 @@ void Cluster::retry_evicted(std::size_t queue_index, int attempt,
             const rejuv::SupervisorReport& report) mutable {
           rolling_report_.passes.push_back(report);
           if (report.success) {
-            balancer_.set_host_evicted(hosts_[host_index].get(), false);
+            set_host_out_of_rotation(host_index, false);
             rolling_report_.recovered_hosts.push_back(host_index);
             retry_evicted(queue_index + 1, 0, std::move(on_done));
           } else if (attempt < supervision_.max_host_retries) {
@@ -361,7 +388,7 @@ void Cluster::recover_remote(std::size_t queue_index, int attempt,
                on_done = std::move(on_done)]() mutable {
                 rolling_report_.passes.push_back(report);
                 if (report.success) {
-                  balancer_.set_host_evicted(hosts_[host_index].get(), false);
+                  set_host_out_of_rotation(host_index, false);
                   rolling_report_.recovered_hosts.push_back(host_index);
                   retry_evicted(queue_index + 1, 0, std::move(on_done));
                 } else if (attempt < supervision_.max_host_retries) {
@@ -380,6 +407,201 @@ void Cluster::finish_rolling(std::function<void(const RollingReport&)> on_done) 
   retry_queue_.clear();
   rolling_in_progress_ = false;
   on_done(rolling_report_);
+}
+
+void Cluster::set_host_out_of_rotation(std::size_t host_index, bool evicted) {
+  balancer_.set_host_evicted(hosts_[host_index].get(), evicted);
+  if (sharded_ != nullptr) sharded_->set_host_evicted(host_index, evicted);
+}
+
+void Cluster::set_host_backpressured(std::size_t host_index, bool pressured) {
+  balancer_.set_host_pressured(hosts_[host_index].get(), pressured);
+  if (sharded_ != nullptr) sharded_->set_host_pressured(host_index, pressured);
+}
+
+std::pair<std::uint64_t, std::int64_t> Cluster::host_signals(
+    std::size_t host_index) {
+  vmm::Host& h = *hosts_[host_index];
+  std::uint64_t load = 0;
+  for (auto& g : guests_[host_index]) {
+    auto* apache =
+        static_cast<guest::ApacheService*>(g->find_service("httpd"));
+    if (apache != nullptr) load += apache->requests_served();
+  }
+  const std::int64_t budget = h.preserved().frame_budget();
+  // 0 == unlimited budget: headroom is effectively infinite, so those
+  // hosts sort after every budget-constrained one.
+  const std::int64_t headroom =
+      budget == 0 ? std::numeric_limits<std::int64_t>::max()
+                  : budget - h.preserved().reserved_frames();
+  if (h.obs().enabled()) {
+    h.obs().metrics().gauge("host.load") = static_cast<double>(load);
+    h.obs().metrics().gauge("host.preserved_headroom") =
+        headroom == std::numeric_limits<std::int64_t>::max()
+            ? std::numeric_limits<double>::infinity()
+            : static_cast<double>(headroom);
+  }
+  return {load, headroom};
+}
+
+void Cluster::rolling_rejuvenation_waves(
+    WaveConfig config, std::function<void(const WaveReport&)> on_done) {
+  ensure(static_cast<bool>(on_done),
+         "rolling_rejuvenation_waves: callback required");
+  ensure(!rolling_in_progress_,
+         "rolling_rejuvenation_waves: a rolling pass is already in progress");
+  ensure(config.wave_size >= 1, "rolling_rejuvenation_waves: wave_size >= 1");
+  ensure(config.max_concurrent_down >= 0,
+         "rolling_rejuvenation_waves: negative downtime budget");
+  rolling_in_progress_ = true;
+  durations_.clear();
+  wave_report_ = {};
+  wave_ = std::make_unique<WaveState>();
+  wave_->config = config;
+  wave_->on_done = std::move(on_done);
+  const auto n = hosts_.size();
+  wave_->scheduled.assign(n, 0);
+  wave_->load.assign(n, 0);
+  wave_->headroom.assign(n, 0);
+  wave_->remaining = n;
+  wave_gather();
+}
+
+// Fans one signal probe out to every pending host. Under the engine the
+// probe runs on the host's partition and the values travel back over the
+// mailboxes, so the schedule derived from them is worker-count invariant.
+void Cluster::wave_gather() {
+  if (wave_->remaining == 0) {
+    wave_report_.hosts_rejuvenated = hosts_.size();
+    rolling_in_progress_ = false;
+    auto on_done = std::move(wave_->on_done);
+    wave_.reset();
+    on_done(wave_report_);
+    return;
+  }
+  wave_->replies_pending = wave_->remaining;
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    if (wave_->scheduled[h] != 0) continue;
+    if (config_.engine == nullptr) {
+      const auto [load, headroom] = host_signals(h);
+      wave_collect(h, load, headroom);
+      continue;
+    }
+    config_.engine->post(partition_of(static_cast<int>(h)),
+                         config_.calib.link.latency, [this, h] {
+      const auto [load, headroom] = host_signals(h);
+      config_.engine->post(0, config_.calib.link.latency,
+                           [this, h, load, headroom] {
+        wave_collect(h, load, headroom);
+      });
+    });
+  }
+}
+
+void Cluster::wave_collect(std::size_t host_index, std::uint64_t load,
+                           std::int64_t headroom) {
+  wave_->load[host_index] = load;
+  wave_->headroom[host_index] = headroom;
+  if (--wave_->replies_pending == 0) wave_launch();
+}
+
+void Cluster::wave_launch() {
+  std::vector<std::size_t> candidates;
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    if (wave_->scheduled[h] == 0) candidates.push_back(h);
+  }
+  // Least-loaded hosts first so the wave drains as few active sessions as
+  // possible; among equals, the memory-tightest (smallest preserved
+  // headroom) host rejuvenates first; host index breaks remaining ties so
+  // the schedule is a pure function of the gathered signals.
+  std::sort(candidates.begin(), candidates.end(),
+            [this](std::size_t a, std::size_t b) {
+              if (wave_->load[a] != wave_->load[b]) {
+                return wave_->load[a] < wave_->load[b];
+              }
+              if (wave_->headroom[a] != wave_->headroom[b]) {
+                return wave_->headroom[a] < wave_->headroom[b];
+              }
+              return a < b;
+            });
+  std::size_t k = static_cast<std::size_t>(wave_->config.wave_size);
+  if (wave_->config.max_concurrent_down > 0) {
+    k = std::min(k, static_cast<std::size_t>(wave_->config.max_concurrent_down));
+  }
+  k = std::min(k, candidates.size());
+  WaveReport::Wave wave;
+  wave.started = sim_.now();
+  wave.hosts.assign(candidates.begin(),
+                    candidates.begin() + static_cast<std::ptrdiff_t>(k));
+  wave_report_.waves.push_back(std::move(wave));
+  wave_->inflight = k;
+  wave_->remaining -= k;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t h = wave_report_.waves.back().hosts[i];
+    wave_->scheduled[h] = 1;
+    wave_run_host(h);
+  }
+}
+
+void Cluster::wave_run_host(std::size_t host_index) {
+  if (config_.engine == nullptr) {
+    vmm::Host& h = *hosts_[host_index];
+    obs::SpanId turn = obs::kNoSpan;
+    if (h.obs().enabled()) {
+      turn = h.obs().span_open(sim_.now(), obs::Phase::kRollingPass,
+                               "wave turn host " + std::to_string(host_index));
+      h.obs().set_ambient(turn);
+    }
+    auto& slot = host_drivers_[host_index];
+    slot = rejuv::make_reboot_driver(wave_->config.kind, h,
+                                     guests_of(static_cast<int>(host_index)));
+    slot->run([this, host_index, turn] {
+      vmm::Host& done_host = *hosts_[host_index];
+      done_host.obs().span_close(turn, sim_.now());
+      done_host.obs().set_ambient(obs::kNoSpan);
+      wave_host_done(host_index, host_drivers_[host_index]->total_duration());
+    });
+    return;
+  }
+  // Control partition -> host partition hop, same discipline as
+  // rejuvenate_remote: the driver lives and dies on the host's partition,
+  // the reply carries the measured duration by value.
+  config_.engine->post(
+      partition_of(static_cast<int>(host_index)), config_.calib.link.latency,
+      [this, host_index] {
+        vmm::Host& h = *hosts_[host_index];
+        obs::SpanId turn = obs::kNoSpan;
+        if (h.obs().enabled()) {
+          turn = h.obs().span_open(
+              h.sim().now(), obs::Phase::kRollingPass,
+              "wave turn host " + std::to_string(host_index));
+          h.obs().set_ambient(turn);
+        }
+        auto& slot = host_drivers_[host_index];
+        slot = rejuv::make_reboot_driver(
+            wave_->config.kind, h, guests_of(static_cast<int>(host_index)));
+        slot->run([this, host_index, turn] {
+          vmm::Host& done_host = *hosts_[host_index];
+          done_host.obs().span_close(turn, done_host.sim().now());
+          done_host.obs().set_ambient(obs::kNoSpan);
+          const sim::Duration took =
+              host_drivers_[host_index]->total_duration();
+          config_.engine->post(0, config_.calib.link.latency,
+                               [this, host_index, took] {
+            wave_host_done(host_index, took);
+          });
+        });
+      });
+}
+
+void Cluster::wave_host_done(std::size_t /*host_index*/, sim::Duration took) {
+  durations_.push_back(took);
+  if (--wave_->inflight == 0) {
+    // Wave barrier: the next gather (and wave) starts only when every
+    // host in this wave is back -- the budget is never exceeded.
+    wave_report_.waves.back().finished = sim_.now();
+    wave_gather();
+  }
 }
 
 sim::Duration Cluster::host_retry_backoff(int attempt) const {

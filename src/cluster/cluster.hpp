@@ -3,11 +3,14 @@
 // analysed).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/load_balancer.hpp"
+#include "cluster/sharded_balancer.hpp"
 #include "rejuv/reboot_driver.hpp"
 #include "rejuv/supervisor.hpp"
 
@@ -35,16 +38,26 @@ class Cluster {
     /// byte-identical to pre-observability builds.
     bool observe = false;
     /// Conservative parallel-in-run engine (DESIGN.md §11), non-owning.
-    /// When set it must have exactly hosts + 1 partitions: partition 0 is
-    /// the control plane (balancer + client fleet + rolling-pass control,
-    /// driven by the engine's partition(0) Simulation, which must be the
-    /// `sim` passed to the constructor) and host h lives on partition
-    /// 1 + h. All cross-host interaction then flows through the engine's
-    /// mailboxes; results are bitwise identical for any worker count, but
-    /// not byte-identical to the null-engine fast path (balancer RPCs
-    /// gain real link latency). Null (default): today's single-calendar
-    /// behaviour, byte-identical to historical runs.
+    /// When set it must have exactly 1 + shards + hosts partitions:
+    /// partition 0 is the control plane (balancer + client fleet +
+    /// rolling-pass control, driven by the engine's partition(0)
+    /// Simulation, which must be the `sim` passed to the constructor),
+    /// balancer shard s lives on partition 1 + s, and host h lives on
+    /// partition 1 + shards + h. All cross-host interaction then flows
+    /// through the engine's mailboxes; results are bitwise identical for
+    /// any worker count, but not byte-identical to the null-engine fast
+    /// path (balancer RPCs gain real link latency). Null (default):
+    /// today's single-calendar behaviour, byte-identical to historical
+    /// runs.
     sim::ParallelSimulation* engine = nullptr;
+    /// Balancer shards (DESIGN.md §12). 0 (default): the single
+    /// LoadBalancer only, byte-identical to historical runs. > 0: a
+    /// ShardedBalancer is built alongside it, every VM pre-registered
+    /// with its host's shard (host h's backends belong to shard
+    /// h % shards); under the engine each shard gets its own partition
+    /// so dispatch is parallel-in-run. Eviction/pressure decisions from
+    /// supervised rolling passes propagate to both balancers.
+    int shards = 0;
   };
 
   /// Knobs for the supervised rolling pass (rolling_rejuvenation_supervised).
@@ -89,10 +102,10 @@ class Cluster {
   /// control partition once the boot events have run.
   void start(std::function<void()> on_ready);
 
-  /// Partition carrying host `i` under the parallel engine (1 + i), or 0
-  /// when the cluster runs on a single calendar.
+  /// Partition carrying host `i` under the parallel engine
+  /// (1 + shards + i), or 0 when the cluster runs on a single calendar.
   [[nodiscard]] std::int32_t partition_of(int i) const {
-    return config_.engine != nullptr ? 1 + i : 0;
+    return config_.engine != nullptr ? 1 + config_.shards + i : 0;
   }
 
   [[nodiscard]] int host_count() const { return config_.hosts; }
@@ -100,6 +113,8 @@ class Cluster {
   [[nodiscard]] guest::GuestOs& guest(int host, int vm);
   [[nodiscard]] std::vector<guest::GuestOs*> guests_of(int host);
   [[nodiscard]] LoadBalancer& balancer() { return balancer_; }
+  /// The sharded control plane; null unless Config::shards > 0.
+  [[nodiscard]] ShardedBalancer* sharded_balancer() { return sharded_.get(); }
 
   /// Rejuvenates every host's VMM in turn (never two at once), using the
   /// given reboot strategy. `on_done` fires after the last host is back.
@@ -118,6 +133,49 @@ class Cluster {
   void rolling_rejuvenation_supervised(
       SupervisionConfig config,
       std::function<void(const RollingReport&)> on_done);
+
+  /// Knobs for the wave-based rolling pass (rolling_rejuvenation_waves).
+  struct WaveConfig {
+    /// Hosts rejuvenated concurrently per wave.
+    int wave_size = 1;
+    /// Global concurrent-downtime budget: never more than this many hosts
+    /// down at once, across all causes the scheduler controls. 0 means
+    /// "the wave size is the budget". Waves are clamped to the budget.
+    int max_concurrent_down = 0;
+    rejuv::RebootKind kind = rejuv::RebootKind::kWarm;
+  };
+
+  /// Outcome of one wave-based rolling pass.
+  struct WaveReport {
+    struct Wave {
+      /// Hosts in this wave, in the order the scheduler picked them.
+      std::vector<std::size_t> hosts;
+      sim::SimTime started = 0;
+      sim::SimTime finished = 0;
+    };
+    std::vector<Wave> waves;
+    std::size_t hosts_rejuvenated = 0;
+  };
+
+  /// Wave-based rolling pass: rejuvenates wave_size hosts per wave, a
+  /// barrier between waves, under the concurrent-downtime budget. Before
+  /// each wave the scheduler gathers live signals from every pending host
+  /// -- served-request load and preserved-budget headroom, mirrored into
+  /// the host's MetricsRegistry when observability is on -- and
+  /// rejuvenates the least-loaded hosts first (tie-break: smaller
+  /// headroom, then host index), so the wave drains as few active
+  /// sessions as possible while prioritising memory-tight hosts.
+  /// Signals are gathered over the mailboxes under the engine, so the
+  /// schedule is bitwise reproducible for any worker count. Same overlap
+  /// rule as the other passes. Partitioned mode: invoke from
+  /// control-partition context (engine.run_on(0, ...)).
+  void rolling_rejuvenation_waves(
+      WaveConfig config, std::function<void(const WaveReport&)> on_done);
+
+  /// Report of the last wave-based pass (valid after it completes).
+  [[nodiscard]] const WaveReport& last_wave_report() const {
+    return wave_report_;
+  }
 
   /// True while either flavour of rolling pass is in flight.
   [[nodiscard]] bool rolling_in_progress() const { return rolling_in_progress_; }
@@ -154,12 +212,29 @@ class Cluster {
                      std::function<void(const RollingReport&)> on_done);
   void finish_rolling(std::function<void(const RollingReport&)> on_done);
   [[nodiscard]] sim::Duration host_retry_backoff(int attempt) const;
+  /// Applies an administrative eviction / pressure decision to every
+  /// balancer the cluster runs (the single LoadBalancer and, when
+  /// sharded, every shard's membership view).
+  void set_host_out_of_rotation(std::size_t host_index, bool evicted);
+  void set_host_backpressured(std::size_t host_index, bool pressured);
+  /// (served-request load, preserved-budget headroom) for one host; runs
+  /// on the host's partition under the engine and mirrors the signals
+  /// into the host's MetricsRegistry when observability is on.
+  [[nodiscard]] std::pair<std::uint64_t, std::int64_t> host_signals(
+      std::size_t host_index);
+  void wave_gather();
+  void wave_collect(std::size_t host_index, std::uint64_t load,
+                    std::int64_t headroom);
+  void wave_launch();
+  void wave_run_host(std::size_t host_index);
+  void wave_host_done(std::size_t host_index, sim::Duration took);
 
   sim::Simulation& sim_;
   Config config_;
   std::vector<std::unique_ptr<vmm::Host>> hosts_;
   std::vector<std::vector<std::unique_ptr<guest::GuestOs>>> guests_;
   LoadBalancer balancer_;
+  std::unique_ptr<ShardedBalancer> sharded_;
   std::unique_ptr<rejuv::RebootDriver> active_driver_;
   std::unique_ptr<rejuv::Supervisor> active_supervisor_;
   /// Partitioned mode: per-host driver/supervisor slots, created and
@@ -172,6 +247,20 @@ class Cluster {
   SupervisionConfig supervision_;
   RollingReport rolling_report_;
   std::vector<std::size_t> retry_queue_;
+  /// In-flight wave pass. The gather fan-out and the wave barrier both
+  /// count down control-side, so all mutation happens on partition 0.
+  struct WaveState {
+    WaveConfig config;
+    std::function<void(const WaveReport&)> on_done;
+    std::vector<std::uint8_t> scheduled;  ///< host already covered
+    std::vector<std::uint64_t> load;
+    std::vector<std::int64_t> headroom;
+    std::size_t replies_pending = 0;
+    std::size_t inflight = 0;
+    std::size_t remaining = 0;
+  };
+  std::unique_ptr<WaveState> wave_;
+  WaveReport wave_report_;
 };
 
 }  // namespace rh::cluster

@@ -112,33 +112,54 @@ void LoadBalancer::remote_try_next(std::shared_ptr<RemoteDispatch> state) {
     Slot& slot = backends_[index];
     if (slot.evicted) continue;
     if (slot.pressured && !state->allow_pressured) continue;
-    // Capture the backend by raw pointers, never by Slot reference:
-    // add_backend on the balancer partition may reallocate backends_
-    // while this probe is in flight on the host partition.
+    // Capture the backend by raw pointers and its stable index, never by
+    // Slot reference: add_backend on the balancer partition may
+    // reallocate backends_ while this probe is in flight on the host
+    // partition (the vector is append-only, so indices stay valid).
     guest::GuestOs* os = slot.backend.os;
     guest::ApacheService* apache = slot.backend.apache;
-    const std::int64_t file =
-        slot.backend.files[slot.next_file % slot.backend.files.size()];
-    ++slot.next_file;
+    const auto slot_index = static_cast<std::uint32_t>(index);
     const std::int32_t backend_partition =
         slot.backend.partition >= 0 ? slot.backend.partition : self_partition_;
     engine_->post(backend_partition, rpc_latency_,
-                  [this, os, apache, file, state = std::move(state)]() mutable {
-      // Host partition: probe + serve. Only post()s back from here --
-      // balancer state must not be touched host-side.
-      if (!os->service_reachable(*apache)) {
-        engine_->post(self_partition_, rpc_latency_,
-                      [this, state = std::move(state)]() mutable {
+                  [this, os, apache, slot_index, backend_partition,
+                   state = std::move(state)]() mutable {
+      // Host partition: probe only. The serve decision belongs to the
+      // balancer partition, which re-checks membership when the reply
+      // lands -- an eviction during the probe's flight must win, so a
+      // stale "up" reply can never resurrect an evicted backend.
+      const bool up = os->service_reachable(*apache);
+      engine_->post(self_partition_, rpc_latency_,
+                    [this, up, slot_index, backend_partition,
+                     state = std::move(state)]() mutable {
+        if (!up) {
           remote_try_next(std::move(state));
-        });
-        return;
-      }
-      apache->serve_file(*os, file,
-                         [this, state = std::move(state)](bool ok) mutable {
-        engine_->post(self_partition_, rpc_latency_,
-                      [this, ok, state = std::move(state)]() mutable {
-          ++dispatched_;
-          state->done(ok);
+          return;
+        }
+        Slot& current = backends_[slot_index];
+        if (current.evicted ||
+            (current.pressured && !state->allow_pressured)) {
+          remote_try_next(std::move(state));
+          return;
+        }
+        const std::int64_t file =
+            current.backend.files[current.next_file %
+                                  current.backend.files.size()];
+        ++current.next_file;
+        guest::GuestOs* serve_os = current.backend.os;
+        guest::ApacheService* serve_apache = current.backend.apache;
+        engine_->post(backend_partition, rpc_latency_,
+                      [this, serve_os, serve_apache, file,
+                       state = std::move(state)]() mutable {
+          serve_apache->serve_file(*serve_os, file,
+                                   [this, state = std::move(state)](
+                                       bool ok) mutable {
+            engine_->post(self_partition_, rpc_latency_,
+                          [this, ok, state = std::move(state)]() mutable {
+              ++dispatched_;
+              state->done(ok);
+            });
+          });
         });
       });
     });

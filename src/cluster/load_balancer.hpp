@@ -36,10 +36,13 @@ class LoadBalancer {
   /// and reaches backends on other partitions via request/reply RPCs with
   /// one-way latency `rpc_latency` (>= the engine lookahead). In this
   /// mode dispatch() must be called from inside partition execution
-  /// (seed control flow with ParallelSimulation::run_on), reachability is
-  /// probed host-side, and a backend's file cursor advances per *attempt*
-  /// rather than per served request -- deterministic, but not
-  /// byte-identical to the sequential path (RPC hops add 2x latency).
+  /// (seed control flow with ParallelSimulation::run_on). Reachability is
+  /// probed host-side, but the serve decision is made balancer-side when
+  /// the probe reply lands, after re-checking the slot's membership
+  /// flags: a backend evicted while its probe was in flight is skipped,
+  /// never resurrected by the stale reply. Deterministic, but not
+  /// byte-identical to the sequential path (probe + serve RPC pairs add
+  /// 4x one-way latency).
   void bind_parallel(sim::ParallelSimulation& engine, std::int32_t self_partition,
                      sim::Duration rpc_latency);
 

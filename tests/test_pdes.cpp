@@ -3,12 +3,14 @@
 // cross-partition scheduling guard, and the bitwise 1-vs-N-worker digest
 // contract on the fig9 cluster topology.
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.hpp"
+#include "cluster/session_fleet.hpp"
 #include "cluster/vm_migrator.hpp"
 #include "simcore/check.hpp"
 #include "simcore/parallel.hpp"
@@ -189,16 +191,23 @@ struct ClusterDigest {
   }
 };
 
-enum class Variant { kPlain, kFaults, kObserve };
+enum class Variant { kPlain, kFaults, kObserve, kSharded };
 
 std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
-  sim::ParallelSimulation engine({.partitions = 4, .workers = workers});
+  // kSharded exercises the DESIGN.md §12 control plane: shard partitions
+  // between the control plane and the hosts, a batched SessionFleet pinned
+  // to the shards, and a wave-based rolling pass instead of the serial one.
+  const int shards = variant == Variant::kSharded ? 2 : 0;
+  sim::ParallelSimulation engine(
+      {.partitions = static_cast<std::int32_t>(4 + shards),
+       .workers = workers});
   cluster::Cluster::Config cfg;
   cfg.hosts = 3;
   cfg.vms_per_host = 2;
   cfg.files_per_vm = 8;
   cfg.file_size = 64 * sim::kKiB;
   cfg.engine = &engine;
+  cfg.shards = shards;
   if (variant == Variant::kFaults) {
     cfg.faults = fault::FaultConfig::uniform(0.05);
   }
@@ -211,7 +220,20 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
 
   cluster::ClusterClientFleet fleet(engine.partition(0), cl.balancer(),
                                     {.connections = 8});
-  engine.run_on(0, [&fleet] { fleet.start(); });
+  std::unique_ptr<cluster::SessionFleet> sessions;
+  if (variant == Variant::kSharded) {
+    sessions = std::make_unique<cluster::SessionFleet>(
+        *cl.sharded_balancer(),
+        cluster::SessionFleet::Config{
+            .sessions = 64,
+            .think_base = 1 * sim::kSecond,
+            .think_spread = 1 * sim::kSecond,
+            .retry_interval = 500 * sim::kMillisecond,
+            .tick = 250 * sim::kMillisecond});
+    sessions->start(engine);
+  } else {
+    engine.run_on(0, [&fleet] { fleet.start(); });
+  }
   engine.run_until(engine.partition(0).now() + 10 * sim::kSecond);
 
   bool done = false;
@@ -219,6 +241,12 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
     engine.run_on(0, [&cl, &done] {
       cl.rolling_rejuvenation_supervised(
           {}, [&done](const cluster::Cluster::RollingReport&) { done = true; });
+    });
+  } else if (variant == Variant::kSharded) {
+    engine.run_on(0, [&cl, &done] {
+      cl.rolling_rejuvenation_waves(
+          {.wave_size = 2},
+          [&done](const cluster::Cluster::WaveReport&) { done = true; });
     });
   } else {
     engine.run_on(0, [&cl, &done] {
@@ -248,6 +276,18 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
     d.mix(report.failed_hosts.size());
     d.mix(report.pressured_hosts.size());
   }
+  if (variant == Variant::kSharded) {
+    d.mix(cl.sharded_balancer()->state_digest());
+    d.mix(sessions->state_digest());
+    const auto& report = cl.last_wave_report();
+    d.mix(report.waves.size());
+    d.mix(report.hosts_rejuvenated);
+    for (const auto& w : report.waves) {
+      d.mix(static_cast<std::uint64_t>(w.started));
+      d.mix(static_cast<std::uint64_t>(w.finished));
+      for (const auto h : w.hosts) d.mix(h);
+    }
+  }
   for (int h = 0; h < cfg.hosts; ++h) {
     d.mix(cl.host(h).obs().spans().records().size());
     d.mix(cl.host(h).obs().events().size());
@@ -267,15 +307,105 @@ TEST_P(PdesClusterDigestGrid, OneVsNWorkersBitwiseIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Fig9Topology, PdesClusterDigestGrid,
                          ::testing::Values(Variant::kPlain, Variant::kFaults,
-                                           Variant::kObserve),
+                                           Variant::kObserve,
+                                           Variant::kSharded),
                          [](const auto& info) {
                            switch (info.param) {
                              case Variant::kPlain: return "plain";
                              case Variant::kFaults: return "faults";
                              case Variant::kObserve: return "observe";
+                             case Variant::kSharded: return "sharded";
                            }
                            return "unknown";
                          });
+
+// A backend evicted while its reachability probe is in flight must not be
+// served by the stale "up" reply: the balancer re-checks membership on the
+// balancer partition when the reply lands (regression -- the probe reply
+// used to dispatch directly, resurrecting evicted backends).
+TEST(PdesCluster, EvictedMidProbeBackendIsNotServed) {
+  sim::ParallelSimulation engine({.partitions = 3, .workers = 1});
+  cluster::Cluster::Config cfg;
+  cfg.hosts = 2;
+  cfg.vms_per_host = 1;
+  cfg.files_per_vm = 4;
+  cfg.file_size = 64 * sim::kKiB;
+  cfg.calib.link.latency = 1000;  // 1 ms: a wide in-flight window
+  cfg.engine = &engine;
+  cluster::Cluster cl(engine.partition(0), cfg);
+  bool ready = false;
+  cl.start([&ready] { ready = true; });
+  engine.run_while([&ready] { return !ready; });
+
+  bool done = false, served = false;
+  engine.run_on(0, [&] {
+    // The round-robin cursor starts at host 0's backend, so the first
+    // probe targets host 0. Evict it while that probe is in flight
+    // (probe out +1ms, reply back +1ms; eviction lands at +1.5ms).
+    cl.balancer().dispatch([&](bool ok) {
+      served = ok;
+      done = true;
+    });
+    engine.partition(0).after(1500, [&cl] {
+      cl.balancer().set_host_evicted(&cl.host(0), true);
+    });
+  });
+  engine.run_while([&done] { return !done; });
+
+  EXPECT_TRUE(served);  // host 1 picked it up
+  EXPECT_EQ(cl.balancer().dispatched(), std::uint64_t{1});
+  auto served_by = [&cl](int h) {
+    return static_cast<guest::ApacheService*>(
+               cl.guest(h, 0).find_service("httpd"))
+        ->requests_served();
+  };
+  EXPECT_EQ(served_by(0), std::uint64_t{0});  // never resurrected
+  EXPECT_EQ(served_by(1), std::uint64_t{1});
+}
+
+// Federated failover under the engine: a shard whose every backend is
+// evicted spills its traffic to the next shard on the ring, over the
+// mailboxes, and the outcome is identical for 1 and 4 workers.
+TEST(PdesCluster, EmptiedShardFailsOverAcrossPartitions) {
+  auto run = [](std::size_t workers) {
+    sim::ParallelSimulation engine({.partitions = 7, .workers = workers});
+    cluster::Cluster::Config cfg;
+    cfg.hosts = 4;  // shard 0 owns hosts {0, 2}, shard 1 owns {1, 3}
+    cfg.shards = 2;
+    cfg.vms_per_host = 1;
+    cfg.files_per_vm = 4;
+    cfg.file_size = 64 * sim::kKiB;
+    cfg.engine = &engine;
+    cluster::Cluster cl(engine.partition(0), cfg);
+    bool ready = false;
+    cl.start([&ready] { ready = true; });
+    engine.run_while([&ready] { return !ready; });
+
+    auto* sb = cl.sharded_balancer();
+    sb->set_host_evicted(0, true);
+    sb->set_host_evicted(2, true);
+    std::uint64_t key = 0;
+    while (sb->home_shard(key) != 0) ++key;
+
+    int outcomes = 0, served = 0;
+    engine.run_on(0, [&] {
+      for (int i = 0; i < 2; ++i) {
+        sb->dispatch(key, [&](bool ok) {
+          served += ok ? 1 : 0;
+          ++outcomes;
+        });
+      }
+    });
+    engine.run_while([&outcomes] { return outcomes < 2; });
+
+    EXPECT_EQ(served, 2);
+    EXPECT_EQ(sb->federated(), std::uint64_t{2});
+    EXPECT_EQ(sb->shard_federated(1), std::uint64_t{2});
+    EXPECT_EQ(sb->rejected(), std::uint64_t{0});
+    return sb->state_digest();
+  };
+  EXPECT_EQ(run(1), run(4));
+}
 
 TEST(PdesCluster, CrossPartitionMigrationRejected) {
   sim::ParallelSimulation engine(
