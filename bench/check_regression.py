@@ -31,7 +31,7 @@ import statistics
 import sys
 
 SUITE_FILES = ["BENCH_sched.json", "BENCH_runner.json", "BENCH_pdes.json",
-               "BENCH_scale.json"]
+               "BENCH_scale.json", "BENCH_microrec.json"]
 MEDIAN_WINDOW = 5
 
 
@@ -101,11 +101,24 @@ def scale_metrics(doc):
     return out
 
 
+def microrec_metrics(doc):
+    """Micro-recovery ladder: availability of the micro rung at the
+    highest swept fault rate. A higher-is-better ratio pinned near 1.0;
+    it moves only when the in-place recovery path stops absorbing
+    crashes it used to, which is exactly the regression to catch."""
+    out = {}
+    avail = doc.get("availability_at_base_rate")
+    if avail:
+        out["microrec/availability_at_base_rate"] = float(avail)
+    return out
+
+
 EXTRACTORS = {
     "BENCH_sched.json": sched_metrics,
     "BENCH_runner.json": runner_metrics,
     "BENCH_pdes.json": pdes_metrics,
     "BENCH_scale.json": scale_metrics,
+    "BENCH_microrec.json": microrec_metrics,
 }
 
 

@@ -27,11 +27,11 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
     config_.engine->register_link(config_.calib.link.latency);
     balancer_.bind_parallel(*config_.engine, /*self_partition=*/0,
                             config_.calib.link.latency);
-    host_supervisors_.resize(static_cast<std::size_t>(config_.hosts));
   }
-  // Waves launch several drivers concurrently, so per-host slots are
-  // needed in sequential mode too.
+  // Waves launch several drivers/supervisors concurrently, so per-host
+  // slots are needed in sequential mode too.
   host_drivers_.resize(static_cast<std::size_t>(config_.hosts));
+  host_supervisors_.resize(static_cast<std::size_t>(config_.hosts));
   if (config_.shards > 0) {
     sharded_ =
         std::make_unique<ShardedBalancer>(static_cast<std::size_t>(config_.shards));
@@ -544,6 +544,11 @@ void Cluster::wave_launch() {
 }
 
 void Cluster::wave_run_host(std::size_t host_index) {
+  // Every wave turn is supervised: a mid-wave VMM failure walks the
+  // degradation ladder instead of aborting the pass. The wave's reboot
+  // kind overrides the supervisor's preferred mechanism.
+  rejuv::SupervisorConfig scfg = wave_->config.supervisor;
+  scfg.preferred = wave_->config.kind;
   if (config_.engine == nullptr) {
     vmm::Host& h = *hosts_[host_index];
     obs::SpanId turn = obs::kNoSpan;
@@ -552,23 +557,24 @@ void Cluster::wave_run_host(std::size_t host_index) {
                                "wave turn host " + std::to_string(host_index));
       h.obs().set_ambient(turn);
     }
-    auto& slot = host_drivers_[host_index];
-    slot = rejuv::make_reboot_driver(wave_->config.kind, h,
-                                     guests_of(static_cast<int>(host_index)));
-    slot->run([this, host_index, turn] {
+    auto& slot = host_supervisors_[host_index];
+    slot = std::make_unique<rejuv::Supervisor>(
+        h, guests_of(static_cast<int>(host_index)), scfg);
+    slot->run([this, host_index,
+               turn](const rejuv::SupervisorReport& report) {
       vmm::Host& done_host = *hosts_[host_index];
       done_host.obs().span_close(turn, sim_.now());
       done_host.obs().set_ambient(obs::kNoSpan);
-      wave_host_done(host_index, host_drivers_[host_index]->total_duration());
+      wave_host_done(host_index, report);
     });
     return;
   }
   // Control partition -> host partition hop, same discipline as
-  // rejuvenate_remote: the driver lives and dies on the host's partition,
-  // the reply carries the measured duration by value.
+  // supervise_remote: the supervisor lives and dies on the host's
+  // partition, the reply carries the report by value.
   config_.engine->post(
       partition_of(static_cast<int>(host_index)), config_.calib.link.latency,
-      [this, host_index] {
+      [this, host_index, scfg] {
         vmm::Host& h = *hosts_[host_index];
         obs::SpanId turn = obs::kNoSpan;
         if (h.obs().enabled()) {
@@ -577,25 +583,36 @@ void Cluster::wave_run_host(std::size_t host_index) {
               "wave turn host " + std::to_string(host_index));
           h.obs().set_ambient(turn);
         }
-        auto& slot = host_drivers_[host_index];
-        slot = rejuv::make_reboot_driver(
-            wave_->config.kind, h, guests_of(static_cast<int>(host_index)));
-        slot->run([this, host_index, turn] {
+        auto& slot = host_supervisors_[host_index];
+        slot = std::make_unique<rejuv::Supervisor>(
+            h, guests_of(static_cast<int>(host_index)), scfg);
+        slot->run([this, host_index,
+                   turn](const rejuv::SupervisorReport& report) {
           vmm::Host& done_host = *hosts_[host_index];
           done_host.obs().span_close(turn, done_host.sim().now());
           done_host.obs().set_ambient(obs::kNoSpan);
-          const sim::Duration took =
-              host_drivers_[host_index]->total_duration();
           config_.engine->post(0, config_.calib.link.latency,
-                               [this, host_index, took] {
-            wave_host_done(host_index, took);
+                               [this, host_index, report] {
+            wave_host_done(host_index, report);
           });
         });
       });
 }
 
-void Cluster::wave_host_done(std::size_t /*host_index*/, sim::Duration took) {
-  durations_.push_back(took);
+void Cluster::wave_host_done(std::size_t host_index,
+                             rejuv::SupervisorReport report) {
+  durations_.push_back(report.total_duration());
+  WaveReport::Wave& wave = wave_report_.waves.back();
+  wave.outcome_hosts.push_back(host_index);
+  if (!report.success) {
+    // The ladder exhausted mid-wave: take the host's backends out of
+    // rotation. Waves have no retry queue; the eviction is the outcome.
+    set_host_out_of_rotation(host_index, true);
+    wave_report_.unrecovered_hosts.push_back(host_index);
+  } else if (report.completed != report.attempted) {
+    wave_report_.degraded_hosts.push_back(host_index);
+  }
+  wave.outcomes.push_back(std::move(report));
   if (--wave_->inflight == 0) {
     // Wave barrier: the next gather (and wave) starts only when every
     // host in this wave is back -- the budget is never exceeded.

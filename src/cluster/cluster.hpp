@@ -143,6 +143,11 @@ class Cluster {
     /// "the wave size is the budget". Waves are clamped to the budget.
     int max_concurrent_down = 0;
     rejuv::RebootKind kind = rejuv::RebootKind::kWarm;
+    /// Every wave turn runs under a rejuv::Supervisor (watchdogs, retries,
+    /// the full degradation ladder incl. micro-recovery). `kind` above
+    /// overrides `supervisor.preferred`, so historical call sites keep
+    /// their meaning.
+    rejuv::SupervisorConfig supervisor;
   };
 
   /// Outcome of one wave-based rolling pass.
@@ -150,15 +155,34 @@ class Cluster {
     struct Wave {
       /// Hosts in this wave, in the order the scheduler picked them.
       std::vector<std::size_t> hosts;
+      /// Ladder outcome of each host in this wave, in *completion* order
+      /// (a wave's hosts finish in signal-dependent order;
+      /// outcome_hosts[i] names the host whose ladder produced
+      /// outcomes[i]).
+      std::vector<std::size_t> outcome_hosts;
+      std::vector<rejuv::SupervisorReport> outcomes;
       sim::SimTime started = 0;
       sim::SimTime finished = 0;
     };
     std::vector<Wave> waves;
     std::size_t hosts_rejuvenated = 0;
+    /// Hosts that came back, but on a lower rung than the wave asked for
+    /// (completed != attempted: a mid-wave ladder descent).
+    std::vector<std::size_t> degraded_hosts;
+    /// Hosts whose ladder exhausted with VMs unrecovered; evicted from
+    /// every balancer (waves have no end-of-pass retry queue).
+    std::vector<std::size_t> unrecovered_hosts;
+    [[nodiscard]] bool fully_recovered() const {
+      return unrecovered_hosts.empty();
+    }
   };
 
   /// Wave-based rolling pass: rejuvenates wave_size hosts per wave, a
-  /// barrier between waves, under the concurrent-downtime budget. Before
+  /// barrier between waves, under the concurrent-downtime budget. Each
+  /// host's turn runs under a rejuv::Supervisor, so a mid-wave fault walks
+  /// the degradation ladder (micro-recovery, warm->saved->cold) instead of
+  /// aborting the pass; outcomes land in the WaveReport and a host left
+  /// unrecovered is evicted from every balancer. Before
   /// each wave the scheduler gathers live signals from every pending host
   /// -- served-request load and preserved-budget headroom, mirrored into
   /// the host's MetricsRegistry when observability is on -- and
@@ -227,7 +251,7 @@ class Cluster {
                     std::int64_t headroom);
   void wave_launch();
   void wave_run_host(std::size_t host_index);
-  void wave_host_done(std::size_t host_index, sim::Duration took);
+  void wave_host_done(std::size_t host_index, rejuv::SupervisorReport report);
 
   sim::Simulation& sim_;
   Config config_;

@@ -16,6 +16,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::kPreservedRegionLeak: return "preserved-region-leak";
     case FaultKind::kFrameAllocFailure: return "frame-alloc-failure";
     case FaultKind::kBalloonReclaimFailure: return "balloon-reclaim-failure";
+    case FaultKind::kVmmHang: return "vmm-hang";
     case FaultKind::kCount: break;
   }
   return "unknown";
@@ -33,6 +34,7 @@ double FaultConfig::rate_of(FaultKind k) const {
     case FaultKind::kPreservedRegionLeak: return preserved_region_leak_rate;
     case FaultKind::kFrameAllocFailure: return frame_alloc_failure_rate;
     case FaultKind::kBalloonReclaimFailure: return balloon_reclaim_failure_rate;
+    case FaultKind::kVmmHang: return vmm_hang_rate;
     case FaultKind::kCount: break;
   }
   throw InvariantViolation("FaultConfig::rate_of: bad kind");
@@ -58,6 +60,7 @@ FaultConfig FaultConfig::uniform(double rate) {
   c.preserved_region_leak_rate = rate;
   c.frame_alloc_failure_rate = rate;
   c.balloon_reclaim_failure_rate = rate;
+  c.vmm_hang_rate = rate;
   return c;
 }
 
@@ -87,6 +90,63 @@ std::string FaultInjector::schedule_fingerprint() const {
     out += ';';
   }
   return out;
+}
+
+SteadyFaultProcess::SteadyFaultProcess(sim::Simulation& sim,
+                                       FaultInjector& injector, Config config)
+    : sim_(sim), injector_(injector), config_(config) {
+  ensure(config_.check_interval > 0,
+         "SteadyFaultProcess: check_interval must be positive");
+}
+
+bool SteadyFaultProcess::rates_enabled() const {
+  return injector_.config().rate_of(FaultKind::kVmmCrash) > 0.0 ||
+         injector_.config().rate_of(FaultKind::kVmmHang) > 0.0;
+}
+
+void SteadyFaultProcess::start(std::function<void(FaultKind)> on_fault) {
+  ensure(static_cast<bool>(on_fault), "SteadyFaultProcess::start: callback required");
+  ensure(!armed(), "SteadyFaultProcess::start: already armed");
+  on_fault_ = std::move(on_fault);
+  if (!rates_enabled()) return;  // zero-draw: schedule nothing at all
+  schedule_next();
+}
+
+void SteadyFaultProcess::stop() {
+  if (armed()) {
+    sim_.cancel(pending_);
+    pending_ = sim::kInvalidEventId;
+  }
+  on_fault_ = nullptr;
+}
+
+void SteadyFaultProcess::resume() {
+  ensure(static_cast<bool>(on_fault_),
+         "SteadyFaultProcess::resume: not started");
+  ensure(!armed(), "SteadyFaultProcess::resume: a check is already pending");
+  if (!rates_enabled()) return;
+  schedule_next();
+}
+
+void SteadyFaultProcess::schedule_next() {
+  pending_ = sim_.after(config_.check_interval, [this] {
+    pending_ = sim::kInvalidEventId;
+    tick();
+  });
+}
+
+void SteadyFaultProcess::tick() {
+  // Crash wins the race when both would strike this interval; the hang
+  // roll is skipped on a crash so a hit costs exactly one extra draw.
+  if (injector_.roll(FaultKind::kVmmCrash, sim_.now(), "steady-state")) {
+    on_fault_(FaultKind::kVmmCrash);  // paused until resume()
+    return;
+  }
+  if (injector_.roll(FaultKind::kVmmHang, sim_.now(), "steady-state")) {
+    on_fault_(FaultKind::kVmmHang);
+    return;
+  }
+  schedule_next();
 }
 
 }  // namespace rh::fault

@@ -21,10 +21,12 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "simcore/random.hpp"
+#include "simcore/simulation.hpp"
 #include "simcore/types.hpp"
 
 namespace rh::fault {
@@ -42,6 +44,7 @@ enum class FaultKind : std::uint8_t {
   kPreservedRegionLeak,    ///< incoming VMM fails to release a stale region
   kFrameAllocFailure,      ///< frame allocation fails mid-suspend; no image
   kBalloonReclaimFailure,  ///< balloon inflate reclaims nothing under pressure
+  kVmmHang,                ///< VMM wedges (livelock); caught by the watchdog
   kCount,
 };
 
@@ -60,6 +63,7 @@ struct FaultConfig {
   double preserved_region_leak_rate = 0.0;
   double frame_alloc_failure_rate = 0.0;
   double balloon_reclaim_failure_rate = 0.0;
+  double vmm_hang_rate = 0.0;
 
   [[nodiscard]] double rate_of(FaultKind k) const;
   [[nodiscard]] bool enabled() const;
@@ -113,6 +117,55 @@ class FaultInjector {
   std::vector<FaultRecord> records_;
   std::array<std::uint64_t, static_cast<std::size_t>(FaultKind::kCount)>
       counts_{};
+};
+
+/// Steady-state VMM failure arrivals: crashes that strike *between*
+/// rejuvenation passes, not only at the pre-rejuvenation injection point.
+///
+/// Every check_interval the process polls the injector once for kVmmCrash
+/// and, if that misses, once for kVmmHang, both at the "steady-state"
+/// site. On a hit it pauses itself and hands the kind to the handler --
+/// the recovery path decides how to respond and calls resume() when the
+/// host is healthy again, re-arming the next check. start() schedules
+/// nothing at all while both steady rates are zero, so a disabled process
+/// draws nothing and leaves the fault schedule untouched (the same
+/// zero-draw hygiene contract as FaultInjector::roll).
+class SteadyFaultProcess {
+ public:
+  struct Config {
+    sim::Duration check_interval = sim::kMinute;
+  };
+
+  /// `injector` must outlive the process. Host::configure_faults replaces
+  /// the injector's *value*, not the object, so a reference into the host
+  /// stays valid across re-arming.
+  SteadyFaultProcess(sim::Simulation& sim, FaultInjector& injector,
+                     Config config);
+
+  /// Arms the process. The handler is invoked at most once per pause
+  /// window, with the kind that struck. No-op when both steady rates are
+  /// zero at the time of the call.
+  void start(std::function<void(FaultKind)> on_fault);
+
+  /// Cancels any pending check; the handler is dropped.
+  void stop();
+
+  /// Re-arms after a handled fault (next check is one interval from now).
+  void resume();
+
+  /// Whether a check is currently scheduled.
+  [[nodiscard]] bool armed() const { return pending_ != sim::kInvalidEventId; }
+
+ private:
+  void schedule_next();
+  void tick();
+  [[nodiscard]] bool rates_enabled() const;
+
+  sim::Simulation& sim_;
+  FaultInjector& injector_;
+  Config config_;
+  std::function<void(FaultKind)> on_fault_;
+  sim::EventId pending_ = sim::kInvalidEventId;
 };
 
 }  // namespace rh::fault

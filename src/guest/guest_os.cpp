@@ -261,6 +261,16 @@ void GuestOs::force_power_off() {
   state_ = OsState::kHalted;
 }
 
+void GuestOs::interrupt_for_vmm_failure() {
+  ensure(state_ == OsState::kRunning,
+         "interrupt_for_vmm_failure: OS not running (is " +
+             std::string(to_string(state_)) + ")");
+  ++epoch_;  // abandon in-flight continuations; the vCPUs stopped cold
+  domain_id_ = kNoDomain;  // the domain object died with the VMM
+  state_ = OsState::kSuspended;
+  trace("frozen mid-flight: VMM failed, memory image preserved");
+}
+
 void GuestOs::on_suspend_event(std::function<void()> suspend_hypercall) {
   ensure(state_ == OsState::kRunning,
          "on_suspend_event: OS not running (is " + std::string(to_string(state_)) + ")");

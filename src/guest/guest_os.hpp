@@ -114,6 +114,15 @@ class GuestOs : public vmm::GuestHooks, public GuestMemoryBacking {
   /// crashed VMMs (where the domain is already gone).
   void force_power_off();
 
+  /// The VMM died underneath this running guest, but its memory image was
+  /// preserved in RAM (micro-recovery, DESIGN.md §13): the virtual CPUs
+  /// simply stop being scheduled. No suspend event is delivered -- the
+  /// kernel never ran its handler -- so the transition is instant:
+  /// kRunning -> kSuspended, services left in their running configuration
+  /// (unreachable while suspended, exactly as across an on-memory
+  /// suspend), ready for resume_domain_on_memory against the rebuilt VMM.
+  void interrupt_for_vmm_failure();
+
   // ------------------------------------------------- VMM hooks (kernel)
   void on_suspend_event(std::function<void()> suspend_hypercall) override;
   void on_resume(DomainId new_id, std::function<void()> done) override;

@@ -26,6 +26,7 @@ const char* to_string(Phase p) {
     case Phase::kMigration: return "migration";
     case Phase::kLadderRung: return "ladder-rung";
     case Phase::kRollingPass: return "rolling-pass";
+    case Phase::kMicroRecovery: return "micro-recovery";
     case Phase::kOther: return "other";
   }
   return "unknown";

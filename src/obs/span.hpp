@@ -45,6 +45,7 @@ enum class Phase : std::uint8_t {
   kMigration,      ///< one whole live migration
   kLadderRung,     ///< one rung of the supervisor's degradation ladder
   kRollingPass,    ///< cluster-level rolling rejuvenation
+  kMicroRecovery,  ///< one in-place VMM micro-recovery attempt (§13)
   kOther,
 };
 

@@ -25,6 +25,12 @@ const char* to_string(RecoveryAction a) {
     case RecoveryAction::kDemoteToSaved: return "demote-to-saved";
     case RecoveryAction::kDemoteToCold: return "demote-to-cold";
     case RecoveryAction::kPreservedImageLost: return "preserved-image-lost";
+    case RecoveryAction::kMicroRecoveryAttempt: return "micro-recovery-attempt";
+    case RecoveryAction::kMicroRecoverySucceeded:
+      return "micro-recovery-succeeded";
+    case RecoveryAction::kMicroRecoveryFailed: return "micro-recovery-failed";
+    case RecoveryAction::kMicroRecoveryMetadataCorrupt:
+      return "micro-recovery-metadata-corrupt";
   }
   return "unknown";
 }
@@ -44,6 +50,16 @@ Supervisor::Supervisor(vmm::Host& host, std::vector<guest::GuestOs*> guests,
   ensure(config_.backoff_base > 0 && config_.backoff_cap >= config_.backoff_base,
          "Supervisor: backoff cap must be >= base > 0");
   ensure(config_.boot_watchdog > 0, "Supervisor: watchdog must be positive");
+  ensure(config_.hang_detection >= 0, "Supervisor: negative hang detection");
+  if (config_.micro.enabled) {
+    ensure(config_.micro.max_attempts >= 1,
+           "Supervisor: micro-recovery needs at least one attempt");
+    ensure(config_.micro.success_rate >= 0.0 &&
+               config_.micro.success_rate <= 1.0,
+           "Supervisor: micro-recovery success rate out of [0, 1]");
+    ensure(config_.micro.attempt_base >= 0,
+           "Supervisor: negative micro-recovery attempt base");
+  }
   for (const auto* g : guests_) ensure(g != nullptr, "Supervisor: null guest");
 }
 
@@ -129,6 +145,7 @@ void Supervisor::run(std::function<void(const SupervisorReport&)> done) {
   ensure(static_cast<bool>(done), "Supervisor::run: callback required");
   ensure(!started_, "Supervisor::run: supervisors are one-shot");
   ensure(host_.up(), "Supervisor::run: host is not up");
+  host_.begin_recovery();
   started_ = true;
   done_ = std::move(done);
   report_.attempted = config_.preferred;
@@ -148,7 +165,15 @@ void Supervisor::run(std::function<void(const SupervisorReport&)> done) {
   // crash tears down state without leaving dangling continuations.
   if (host_.faults().roll(fault::FaultKind::kVmmCrash, host_.sim().now(),
                           "pre-rejuvenation")) {
-    handle_vmm_crash();
+    handle_vmm_failure(fault::FaultKind::kVmmCrash);
+    return;
+  }
+  // A wedge instead of a clean crash: same quiescent point, but the
+  // response only starts once the external watchdog notices. Zero draws
+  // when the hang rate is not configured.
+  if (host_.faults().roll(fault::FaultKind::kVmmHang, host_.sim().now(),
+                          "pre-rejuvenation")) {
+    handle_vmm_failure(fault::FaultKind::kVmmHang);
     return;
   }
 
@@ -164,6 +189,7 @@ void Supervisor::recover(std::function<void(const SupervisorReport&)> done) {
   ensure(static_cast<bool>(done), "Supervisor::recover: callback required");
   ensure(!started_, "Supervisor::recover: supervisors are one-shot");
   ensure(host_.up(), "Supervisor::recover: host is not up");
+  host_.begin_recovery();
   started_ = true;
   done_ = std::move(done);
   report_.attempted = config_.preferred;
@@ -185,21 +211,212 @@ void Supervisor::recover(std::function<void(const SupervisorReport&)> done) {
   boot_cold(halted, [this] { finish(config_.preferred); });
 }
 
-// ------------------------------------------------------------- VMM crash
+// ----------------------------------------------------------- VMM failure
 
-void Supervisor::handle_vmm_crash() {
+void Supervisor::respond_to_failure(
+    fault::FaultKind kind, std::function<void(const SupervisorReport&)> done) {
+  ensure(static_cast<bool>(done),
+         "Supervisor::respond_to_failure: callback required");
+  ensure(!started_, "Supervisor::respond_to_failure: supervisors are one-shot");
+  ensure(host_.up(), "Supervisor::respond_to_failure: host is not up");
+  ensure(kind == fault::FaultKind::kVmmCrash ||
+             kind == fault::FaultKind::kVmmHang,
+         "Supervisor::respond_to_failure: not a VMM failure kind");
+  host_.begin_recovery();
+  started_ = true;
+  done_ = std::move(done);
+  report_.attempted = config_.preferred;
+  report_.started_at = host_.sim().now();
+  trace(std::string("begin failure response (") + fault::to_string(kind) +
+        ")");
+  if (host_.obs().enabled()) {
+    outer_ambient_ = host_.obs().ambient();
+    pass_span_ = host_.obs().span_open(
+        report_.started_at, obs::Phase::kPass,
+        std::string("failure response (") + fault::to_string(kind) + ")");
+    host_.obs().set_ambient(pass_span_);
+  }
+  handle_vmm_failure(kind);
+}
+
+void Supervisor::handle_vmm_failure(fault::FaultKind kind) {
   report_.vmm_crashed = true;
+  auto proceed = [this, kind] {
+    if (config_.micro.enabled) {
+      start_micro(kind);
+    } else {
+      crash_fallback(kind, /*micro_exhausted=*/false);
+    }
+  };
+  if (kind == fault::FaultKind::kVmmHang) {
+    // A crash announces itself instantly; a wedged hypervisor is only
+    // visible once the external watchdog fires, so the response starts
+    // after the detection latency (the teardown is modelled at the
+    // detection point).
+    trace("VMM hang suspected; waiting out watchdog detection");
+    host_.sim().after(host_.jittered(config_.hang_detection),
+                      std::move(proceed));
+    return;
+  }
+  proceed();
+}
+
+void Supervisor::crash_fallback(fault::FaultKind kind, bool micro_exhausted) {
   open_rung("hardware-reboot-after-crash");
-  host_.crash_vmm();
+  if (micro_exhausted) {
+    // Micro-recovery gave up; whatever preserved state the attempts were
+    // working over is abandoned before the power cycle.
+    host_.abandon_recovery();
+  } else {
+    host_.crash_vmm();
+  }
   // Every domain died with the hypervisor; the guest objects must observe
   // that before they can be cold-booted.
   for (auto* g : guests_) g->force_power_off();
-  record(RecoveryAction::kHardwareRebootAfterCrash, "vmm",
-         "VMM crashed before rejuvenation could run; hardware reboot and "
-         "cold boot of every VM");
+  const char* detail =
+      micro_exhausted
+          ? "micro-recovery exhausted; hardware reboot and cold boot of "
+            "every VM"
+          : (kind == fault::FaultKind::kVmmHang
+                 ? "VMM hang detected by the watchdog; hardware reboot and "
+                   "cold boot of every VM"
+                 : "VMM crashed before rejuvenation could run; hardware "
+                   "reboot and cold boot of every VM");
+  record(RecoveryAction::kHardwareRebootAfterCrash, "vmm", detail);
   host_.hardware_reboot([this] {
     boot_cold(guests_, [this] { finish(RebootKind::kCold); });
   });
+}
+
+// -------------------------------- in-place micro-recovery (DESIGN.md §13)
+
+sim::Bytes Supervisor::micro_repair_bytes() const {
+  // The rebuild walks every crash snapshot (to re-link P2M and event-
+  // channel state into the new instance) plus per-domain heap metadata.
+  sim::Bytes total = 0;
+  for (const auto& name : host_.preserved().names()) {
+    if (name.rfind(vmm::Vmm::kRegionPrefix, 0) != 0) continue;
+    if (const auto* region = host_.preserved().find(name)) {
+      total += static_cast<sim::Bytes>(region->payload.size()) +
+               vmm::Vmm::kDomainHeapCost;
+    }
+  }
+  return total;
+}
+
+void Supervisor::start_micro(fault::FaultKind kind) {
+  open_rung("micro-recovery");
+  // Cut crash snapshots and take the instance down; RAM (and with it the
+  // registry) survives for the rebuild.
+  host_.fail_vmm(kind);
+  // The vCPUs stopped cold under every guest. Memory-preserved guests are
+  // frozen in place for a later resume; driver domains lose their backend
+  // hardware state with the instance, so they go down for a cold boot
+  // exactly as on the warm rung.
+  for (auto* g : guests_) {
+    if (!g->driver_domain() && g->state() == guest::OsState::kRunning) {
+      g->interrupt_for_vmm_failure();
+    } else {
+      g->force_power_off();
+    }
+  }
+  micro_attempt(kind, 0);
+}
+
+void Supervisor::micro_attempt(fault::FaultKind kind, int attempt) {
+  ++report_.micro_attempts;
+  record(RecoveryAction::kMicroRecoveryAttempt, "vmm",
+         "in-place rebuild attempt " + std::to_string(attempt + 1) + " of " +
+             std::to_string(config_.micro.max_attempts));
+  const sim::Duration repair =
+      config_.micro.attempt_base +
+      sim::transfer_time(micro_repair_bytes(), host_.calib().mem_copy_bps);
+  const obs::SpanId span =
+      host_.obs().span_open(host_.sim().now(), obs::Phase::kMicroRecovery,
+                            "micro-recovery attempt");
+  host_.sim().after(host_.jittered(repair), [this, kind, attempt, span] {
+    host_.obs().span_close(span, host_.sim().now());
+    if (host_.rng().uniform01() >= config_.micro.success_rate) {
+      record(RecoveryAction::kMicroRecoveryFailed, "vmm",
+             "heap/domain-metadata rebuild failed (attempt " +
+                 std::to_string(attempt + 1) + ")");
+      if (attempt + 1 < config_.micro.max_attempts) {
+        micro_attempt(kind, attempt + 1);
+      } else {
+        crash_fallback(kind, /*micro_exhausted=*/true);
+      }
+      return;
+    }
+    const vmm::Vmm::MicroRecoveryReport vr = host_.micro_recover_vmm();
+    if (!vr.ok()) {
+      record(RecoveryAction::kMicroRecoveryMetadataCorrupt, "vmm",
+             "rebuilt state unusable (" +
+                 std::to_string(vr.corrupt_domains.size()) +
+                 " corrupt snapshot(s), frames " +
+                 (vr.frames_consistent ? "consistent" : "inconsistent") +
+                 "); falling to hardware reboot");
+      crash_fallback(kind, /*micro_exhausted=*/true);
+      return;
+    }
+    record(RecoveryAction::kMicroRecoverySucceeded, "vmm",
+           "VMM rebuilt in place; " + std::to_string(vr.intact_regions) +
+               " of " + std::to_string(vr.regions_checked) +
+               " crash snapshot(s) intact");
+    report_.micro_recovered = true;
+    micro_resume_phase();
+  });
+}
+
+void Supervisor::micro_resume_phase() {
+  sweep_stale_regions();
+  // Driver domains never resume over a rebuilt VMM; their crash snapshots
+  // are dead weight in the registry.
+  for (auto* g : driver_domain_guests()) {
+    if (host_.vmm().has_preserved_image(g->name())) {
+      discard_preserved_image(g->name());
+    }
+  }
+  // Same per-VM ladder as the warm resume: a missing or corrupt snapshot
+  // degrades that VM alone to a cold boot while its siblings resume.
+  GuestList intact;
+  for (auto* g : suspendable_guests()) {
+    if (g->state() != guest::OsState::kSuspended) continue;
+    if (!host_.vmm().has_preserved_image(g->name())) {
+      record(RecoveryAction::kPreservedImageLost, g->name(),
+             "no crash snapshot survived the failure; cold-booting this VM "
+             "only");
+      g->force_power_off();
+      cold_list_.push_back(g);
+    } else if (host_.vmm().preserved_image_intact(g->name())) {
+      intact.push_back(g);
+    } else {
+      record(RecoveryAction::kColdBootSingleVm, g->name(),
+             "crash snapshot failed its checksum; cold-booting this VM "
+             "only");
+      discard_preserved_image(g->name());
+      g->force_power_off();
+      cold_list_.push_back(g);
+    }
+  }
+  const int count = static_cast<int>(intact.size());
+  const obs::SpanId resume = host_.obs().span_open(
+      host_.sim().now(), obs::Phase::kResume, "micro-recovery resume");
+  for_each_parallel(
+      intact,
+      [this](guest::GuestOs& g, std::function<void()> guest_done) {
+        host_.vmm().resume_domain_on_memory(
+            g.name(), &g,
+            [guest_done = std::move(guest_done)](DomainId) { guest_done(); });
+      },
+      [this, count, resume] {
+        host_.note_simultaneous_creations(count);
+        report_.resumed_vms = static_cast<std::size_t>(count);
+        host_.obs().span_close(resume, host_.sim().now());
+        GuestList to_boot = cold_list_;
+        const GuestList drivers = driver_domain_guests();
+        to_boot.insert(to_boot.end(), drivers.begin(), drivers.end());
+        boot_cold(to_boot, [this] { finish(RebootKind::kWarm); });
+      });
 }
 
 // ------------------------------------------------------------------ warm
@@ -744,8 +961,13 @@ void Supervisor::finish(RebootKind completed_kind) {
     m.counter("supervisor.vms_cold_booted") += report_.cold_booted_vms;
     m.counter("supervisor.vms_unrecovered") += report_.unrecovered_vms.size();
     if (!report_.success) m.counter("supervisor.failed_passes") += 1;
+    if (report_.micro_attempts > 0) {
+      m.counter("supervisor.micro_attempts") += report_.micro_attempts;
+    }
+    if (report_.micro_recovered) m.counter("supervisor.micro_recoveries") += 1;
     m.histogram("supervisor.pass_duration_us").add(report_.total_duration());
   }
+  host_.end_recovery();
   auto done = std::move(done_);
   done(report_);
 }

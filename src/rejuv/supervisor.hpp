@@ -44,6 +44,11 @@ enum class RecoveryAction : std::uint8_t {
   kDemoteToSaved,      ///< admission sent this VM down the disk path
   kDemoteToCold,       ///< admission shut this VM down for a cold boot
   kPreservedImageLost, ///< suspended VM came back with no image; cold boot
+  // --- in-place micro-recovery (DESIGN.md §13) ---
+  kMicroRecoveryAttempt,    ///< in-place VMM rebuild attempt started
+  kMicroRecoverySucceeded,  ///< VMM rebuilt in place; preserved VMs resume
+  kMicroRecoveryFailed,     ///< one rebuild attempt failed its success draw
+  kMicroRecoveryMetadataCorrupt,  ///< rebuilt state unusable; fall to cold
 };
 
 [[nodiscard]] const char* to_string(RecoveryAction a);
@@ -69,9 +74,27 @@ struct SupervisorConfig {
   /// A guest boot that has not completed after this long is declared hung
   /// and force-powered off (kGuestBootHang never completes on its own).
   sim::Duration boot_watchdog = 10 * sim::kMinute;
+  /// Latency before a kVmmHang is acted on: a crash announces itself, a
+  /// wedged hypervisor is only visible once the external watchdog fires.
+  sim::Duration hang_detection = sim::kSecond;
   /// Preserved-memory admission control (disabled by default: no extra
   /// work, no extra RNG draws -- pre-pressure runs stay byte-identical).
   AdmissionConfig admission;
+  /// ReHype-style in-place micro-recovery: the rung *above* warm
+  /// (DESIGN.md §13). Disabled by default, so a VMM failure takes the
+  /// hardware-reboot path verbatim and no extra RNG draws ever happen.
+  struct MicroRecoveryConfig {
+    bool enabled = false;
+    /// Rebuild attempts before falling down to hardware reboot + cold.
+    int max_attempts = 2;
+    /// Per-attempt probability that the heap/domain-metadata rebuild
+    /// succeeds (ReHype reports ~90 %; the default is conservative).
+    double success_rate = 0.85;
+    /// Fixed per-attempt cost on top of the metadata copy time, which is
+    /// charged at registry bytes / Calibration::mem_copy_bps.
+    sim::Duration attempt_base = 200 * sim::kMillisecond;
+  };
+  MicroRecoveryConfig micro;
 };
 
 /// Preserved-memory accounting of one supervised pass.
@@ -102,6 +125,10 @@ struct SupervisorReport {
   std::size_t resumed_vms = 0;   ///< on-memory resumes (state kept)
   std::size_t restored_vms = 0;  ///< disk restores (state kept)
   std::size_t cold_booted_vms = 0;  ///< boots from scratch (state lost)
+  std::size_t micro_attempts = 0;   ///< in-place rebuild attempts made
+  /// True iff an in-place micro-recovery carried the pass (the VMM was
+  /// rebuilt over preserved RAM and the frozen VMs resumed).
+  bool micro_recovered = false;
   std::vector<std::string> unrecovered_vms;
   std::vector<RecoveryEvent> recoveries;
   MemoryPressure pressure;
@@ -128,6 +155,16 @@ class Supervisor {
   /// uses this to retry a host whose earlier pass left VMs unrecovered.
   void recover(std::function<void(const SupervisorReport&)> done);
 
+  /// Unplanned-failure entry point (same one-shot rule): an *in-service*
+  /// VMM failure was detected (fault::SteadyFaultProcess) and this
+  /// supervisor owns the response. With micro-recovery enabled the ladder
+  /// starts at the in-place rung; disabled, it is the hardware-reboot +
+  /// cold-boot path a pre-rejuvenation crash takes. `kind` must be
+  /// kVmmCrash or kVmmHang and the host must still be up (the failure is
+  /// performed here, at its detection point).
+  void respond_to_failure(fault::FaultKind kind,
+                          std::function<void(const SupervisorReport&)> done);
+
   [[nodiscard]] const SupervisorReport& report() const { return report_; }
   [[nodiscard]] bool completed() const { return completed_; }
 
@@ -135,7 +172,7 @@ class Supervisor {
   using GuestList = std::vector<guest::GuestOs*>;
 
   // ---- phase drivers (one per rung of the ladder)
-  void handle_vmm_crash();
+  void handle_vmm_failure(fault::FaultKind kind);
   void start_warm();
   void attempt_xexec(int attempt);
   void warm_after_xexec();
@@ -161,6 +198,25 @@ class Supervisor {
   void saved_restore_phase();
   void start_cold();
   void finish(RebootKind completed_kind);
+
+  // ---- in-place micro-recovery rung (DESIGN.md §13)
+  /// Freezes the guests in RAM (fail_vmm + interrupt) and starts attempt 0.
+  void start_micro(fault::FaultKind kind);
+  /// One rebuild attempt: charges attempt_base + metadata/mem_copy_bps,
+  /// then draws success. Failure retries up to max_attempts, then falls to
+  /// crash_fallback; success validates metadata and resumes.
+  void micro_attempt(fault::FaultKind kind, int attempt);
+  /// Resumes every frozen guest whose preserved image survived; per-VM
+  /// corruption degrades that VM to a cold boot (siblings still resume).
+  void micro_resume_phase();
+  /// The bottom of the ladder for unplanned failures: hardware reboot and
+  /// cold boot of every VM. `micro_exhausted` distinguishes "never tried
+  /// micro" (the legacy crash path, byte-identical) from "micro gave up"
+  /// (preserved state must be abandoned first).
+  void crash_fallback(fault::FaultKind kind, bool micro_exhausted);
+  /// Bytes the rebuild must walk: every crash snapshot in the registry
+  /// plus per-domain heap metadata.
+  [[nodiscard]] sim::Bytes micro_repair_bytes() const;
 
   // ---- supervised building blocks
   /// Boots one guest under a watchdog; retries hung boots with backoff.

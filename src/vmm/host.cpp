@@ -60,6 +60,59 @@ void Host::crash_vmm() {
   preserved_.clear();
 }
 
+void Host::fail_vmm(fault::FaultKind kind) {
+  ensure(vmm_ != nullptr, "fail_vmm: no VMM instance to fail");
+  ensure(kind == fault::FaultKind::kVmmCrash ||
+             kind == fault::FaultKind::kVmmHang,
+         "fail_vmm: not a VMM failure kind");
+  tracer_.emit(sim_.now(), "host",
+               std::string("VMM FAILED (") + fault::to_string(kind) +
+                   "): domains frozen in RAM");
+  obs_.emit(sim_.now(), obs::Category::kHost, obs::EventKind::kLifecycle,
+            fault::to_string(kind), -1, vmm_generation_);
+  // The dying instance cuts crash-consistent records of its running
+  // domains before control is lost -- ReHype's preserved-state premise.
+  // RAM survives, so the registry does too (contrast crash_vmm()).
+  vmm_->snapshot_domains_for_recovery();
+  vmm_.reset();
+  dom0_state_ = Dom0State::kDown;
+}
+
+Vmm::MicroRecoveryReport Host::micro_recover_vmm() {
+  ensure(vmm_ == nullptr, "micro_recover_vmm: a VMM instance is still up");
+  ensure(dom0_state_ == Dom0State::kDown,
+         "micro_recover_vmm: dom0 must be down");
+  vmm_ = new_vmm(BootMode::kQuickReload);
+  vmm_->boot_instantly();  // re-reserves the preserved regions
+  dom0_state_ = Dom0State::kRunning;
+  vmm_ready_at_ = sim_.now();
+  dom0_up_at_ = sim_.now();
+  restart_daemons();
+  tracer_.emit(sim_.now(), "host",
+               "micro-recovery: VMM rebuilt in place over preserved RAM");
+  return vmm_->micro_recover();
+}
+
+void Host::abandon_recovery() {
+  tracer_.emit(sim_.now(), "host",
+               "micro-recovery abandoned; preserved state discarded");
+  vmm_.reset();
+  dom0_state_ = Dom0State::kDown;
+  preserved_.clear();
+}
+
+void Host::begin_recovery() {
+  ensure(!recovery_in_progress_,
+         "Host::begin_recovery: a recovery ladder is already in flight on "
+         "this host");
+  recovery_in_progress_ = true;
+}
+
+void Host::end_recovery() {
+  ensure(recovery_in_progress_, "Host::end_recovery: no ladder in flight");
+  recovery_in_progress_ = false;
+}
+
 void Host::restart_daemons() {
   // xenstored restarts with dom0: fresh state, repopulated from the
   // hypervisor's view of the live domains.

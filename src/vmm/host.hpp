@@ -102,6 +102,42 @@ class Host {
   /// be force-powered-off by the caller (their domains no longer exist).
   void crash_vmm();
 
+  // --------------------------------- in-place micro-recovery (DESIGN §13)
+
+  /// Recoverable VMM failure (ReHype's premise): the hypervisor is dead --
+  /// crashed or hung past its watchdog -- but it died *cleanly enough*
+  /// that guest memory images survive. Each running domain is snapshotted
+  /// crash-consistently into the preserved registry (zero simulated time;
+  /// the state was already in RAM), then the instance and dom0 go down.
+  /// Unlike crash_vmm(), the registry is NOT cleared: micro_recover_vmm()
+  /// can rebuild from it. Guests must be interrupted by the caller
+  /// (GuestOs::interrupt_for_vmm_failure).
+  void fail_vmm(fault::FaultKind kind);
+
+  /// In-place recovery boot after fail_vmm(): constructs a new VMM
+  /// instance in quick-reload mode over the untouched RAM (re-reserving
+  /// every preserved region), brings it and dom0 up instantly -- the
+  /// repair time was already charged by the Supervisor at mem_copy_bps --
+  /// and returns the metadata-validation report. The caller inspects the
+  /// report and either resumes the preserved domains or abandons.
+  Vmm::MicroRecoveryReport micro_recover_vmm();
+
+  /// Gives up on an in-place recovery: tears down any half-built VMM
+  /// instance, forces dom0 down and clears the registry, leaving the host
+  /// in the same state a crash_vmm() would -- ready for hardware_reboot().
+  void abandon_recovery();
+
+  // ------------------------------------------------ recovery overlap guard
+  /// Whether a supervised recovery ladder is in flight on this host. The
+  /// Supervisor sets this for its whole pass; a second Supervisor trying
+  /// to start (run/recover/respond_to_failure) while it is held is an
+  /// InvariantViolation -- two ladders interleaving on one host would
+  /// corrupt each other's rung state, exactly like overlapping rolling
+  /// passes at cluster level.
+  [[nodiscard]] bool recovery_in_progress() const { return recovery_in_progress_; }
+  void begin_recovery();
+  void end_recovery();
+
   /// EXTENSION (the paper's stated future work): reboot *only* domain 0's
   /// userland, without rebooting the VMM or touching the domain Us. The
   /// guests keep running but are unreachable while the bridge is down;
@@ -172,6 +208,7 @@ class Host {
   std::uint64_t vmm_generation_ = 0;
   sim::SimTime artifact_until_ = 0;
   bool background_transfer_ = false;
+  bool recovery_in_progress_ = false;
 };
 
 }  // namespace rh::vmm

@@ -147,6 +147,91 @@ void Vmm::suspend_all_on_memory(std::function<void()> done) {
   }
 }
 
+std::size_t Vmm::snapshot_domains_for_recovery() {
+  std::size_t recorded = 0;
+  for (const auto id : unprivileged_domain_ids()) {
+    Domain& d = domain(id);
+    if (!d.running()) continue;
+    // Same record format as a suspend, cut at the instant of death: the
+    // frozen frames are wherever the P2M says they are, the execution
+    // state is whatever the vCPUs held when scheduling stopped.
+    d.exec().event_channels = d.event_channels().state_token();
+    mm::ByteWriter w;
+    w.str(d.name());
+    w.i64(d.memory_size());
+    d.exec().serialize(w);
+    d.event_channels().serialize(w);
+    d.p2m().serialize(w);
+
+    mm::PreservedRegion region;
+    region.name = std::string(kRegionPrefix) + d.name();
+    region.payload = w.take();
+    region.frozen_frames = d.p2m().mapped_frames();
+    const std::string region_name = region.name;
+    // A stale record (leaked by an earlier incarnation) would block the
+    // fresh snapshot; the crash handler overwrites it.
+    if (preserved_.contains(region_name)) preserved_.erase(region_name);
+    bool put_ok = false;
+    if (faults_.roll(fault::FaultKind::kFrameAllocFailure, sim_.now(),
+                     "crash:" + d.name())) {
+      if (tracer_.enabled()) {
+        trace("domain '" + d.name() +
+              "' crash snapshot lost (injected allocation failure)");
+      }
+    } else {
+      try {
+        preserved_.put(std::move(region));
+        put_ok = true;
+        ++recorded;
+      } catch (const mm::PreservedBudgetExceeded& e) {
+        if (tracer_.enabled()) {
+          trace("domain '" + d.name() +
+                "' crash snapshot rejected by preserved-frame budget: " +
+                e.what());
+        }
+      }
+    }
+    if (put_ok &&
+        faults_.roll(fault::FaultKind::kCorruptPreservedImage, sim_.now(),
+                     "crash:" + d.name())) {
+      preserved_.corrupt_payload(region_name);
+      if (tracer_.enabled()) {
+        trace("domain '" + d.name() +
+              "' crash snapshot corrupted in RAM (injected)");
+      }
+    }
+  }
+  if (tracer_.enabled()) {
+    trace("crash snapshot: " + std::to_string(recorded) +
+          " domain image(s) preserved in RAM");
+  }
+  return recorded;
+}
+
+Vmm::MicroRecoveryReport Vmm::micro_recover() const {
+  MicroRecoveryReport out;
+  const std::string prefix = kRegionPrefix;
+  for (const auto& name : preserved_.names()) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    ++out.regions_checked;
+    const auto* region = preserved_.find(name);
+    ensure(region != nullptr, "micro_recover: region vanished mid-walk");
+    if (!preserved_.intact(name)) {
+      out.corrupt_domains.push_back(name.substr(prefix.size()));
+      continue;
+    }
+    // Re-parse the record end to end: this is the metadata rebuild -- heap
+    // shadow, P2M, event channels -- the recovered VMM will resume from.
+    const PreservedDomainRecord rec = parse_record(*region);
+    ensure(rec.name == name.substr(prefix.size()),
+           "micro_recover: record/region name mismatch");
+    ++out.intact_regions;
+    out.metadata_bytes += static_cast<sim::Bytes>(region->payload.size());
+  }
+  out.frames_consistent = frame_conservation_report().ok();
+  return out;
+}
+
 bool Vmm::has_preserved_image(const std::string& name) const {
   return preserved_.contains(std::string(kRegionPrefix) + name);
 }

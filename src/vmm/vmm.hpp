@@ -155,6 +155,42 @@ class Vmm {
   void resume_domain_on_memory(const std::string& name, GuestHooks* hooks,
                                std::function<void(DomainId)> done);
 
+  // --------------------------------- in-place micro-recovery (§13)
+  // (implementation in suspend.cpp -- it reuses the preserved-record
+  // format, so a crash snapshot is resumable by resume_domain_on_memory)
+
+  /// Crash-consistent snapshot of every running unprivileged domain into
+  /// the preserved registry, taken by the dying VMM's failure handler
+  /// (ReHype's "preserve VM state" step). Unlike suspend, no suspend event
+  /// is delivered and zero simulated time passes: the state was already in
+  /// RAM; only the metadata record is cut. Per domain the record can be
+  /// dropped (injected kFrameAllocFailure, preserved-frame budget) or rot
+  /// (kCorruptPreservedImage), both at the "crash:<name>" site. Returns
+  /// the number of images recorded.
+  std::size_t snapshot_domains_for_recovery();
+
+  /// What Vmm::micro_recover() found when it rebuilt VMM metadata from the
+  /// preserved regions after an in-place recovery boot.
+  struct MicroRecoveryReport {
+    std::size_t regions_checked = 0;  ///< preserved domain images seen
+    std::size_t intact_regions = 0;   ///< images passing their checksum
+    std::vector<std::string> corrupt_domains;  ///< checksum mismatches
+    sim::Bytes metadata_bytes = 0;    ///< serialised metadata re-validated
+    bool frames_consistent = false;   ///< frame_conservation_report().ok()
+    /// The attempt is usable when frame conservation holds and at least
+    /// one image survived (individual corrupt images degrade to per-VM
+    /// cold boots, exactly like the warm path's intact check).
+    [[nodiscard]] bool ok() const {
+      return frames_consistent && (regions_checked == 0 || intact_regions > 0);
+    }
+  };
+
+  /// Validates the rebuilt state of a quick-reload-booted VMM against the
+  /// preserved registry: every domain image's FNV checksum, every frozen
+  /// frame's re-reservation, and the global frame-conservation invariant.
+  /// Read-only -- the Supervisor decides how to act on the report.
+  [[nodiscard]] MicroRecoveryReport micro_recover() const;
+
   // ------------------------------------------- Xen-style save / restore
   // (implementation in save_restore.cpp)
 

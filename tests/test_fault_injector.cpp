@@ -112,6 +112,127 @@ TEST(FaultInjector, DisarmedHostLeavesHostRngUntouched) {
   EXPECT_FALSE(a.faults().enabled());
 }
 
+TEST(FaultInjector, VmmHangZeroRateNeverDrawsFromTheStream) {
+  // The steady-state VMM kinds obey the same zero-draw contract as every
+  // other kind: polling them with a zero rate must not shift the stream or
+  // the schedule fingerprint of the enabled kinds.
+  FaultConfig cfg;
+  cfg.boot_hang_rate = 0.5;  // enabled; both steady VMM kinds zero
+  sim::Rng r1(99), r2(99);
+  FaultInjector plain(cfg, r1.split());
+  FaultInjector interleaved(cfg, r2.split());
+
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(plain.roll(FaultKind::kGuestBootHang, i, "boot"));
+    interleaved.roll(FaultKind::kVmmCrash, i, "steady-state");
+    interleaved.roll(FaultKind::kVmmHang, i, "steady-state");
+    b.push_back(interleaved.roll(FaultKind::kGuestBootHang, i, "boot"));
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(plain.schedule_fingerprint(), interleaved.schedule_fingerprint());
+  EXPECT_EQ(interleaved.count(FaultKind::kVmmCrash), std::uint64_t{0});
+  EXPECT_EQ(interleaved.count(FaultKind::kVmmHang), std::uint64_t{0});
+}
+
+TEST(SteadyFaultProcess, DisabledRatesScheduleNothingAndDrawNothing) {
+  // With both steady rates zero, start() must be a complete no-op: no
+  // event on the calendar, no draw, no fingerprint change -- a run that
+  // constructs the process but configures no steady faults stays
+  // byte-identical to one that never heard of it.
+  sim::Simulation sim;
+  FaultConfig cfg;
+  cfg.boot_hang_rate = 0.5;  // the injector itself is armed
+  sim::Rng rng(5);
+  FaultInjector inj(cfg, rng.split());
+  const std::string before = inj.schedule_fingerprint();
+
+  fault::SteadyFaultProcess steady(sim, inj, {});
+  steady.start([](FaultKind) { FAIL() << "no steady fault may fire"; });
+  EXPECT_FALSE(steady.armed());
+  EXPECT_EQ(sim.pending_events(), std::size_t{0});
+  sim.run_until(10 * sim::kHour);
+  EXPECT_EQ(inj.schedule_fingerprint(), before);
+  EXPECT_EQ(inj.count(FaultKind::kVmmCrash), std::uint64_t{0});
+  EXPECT_EQ(inj.count(FaultKind::kVmmHang), std::uint64_t{0});
+}
+
+TEST(SteadyFaultProcess, FiresOncePerPauseWindowThenResumes) {
+  sim::Simulation sim;
+  FaultConfig cfg;
+  cfg.vmm_crash_rate = 1.0;
+  sim::Rng rng(5);
+  FaultInjector inj(cfg, rng.split());
+  fault::SteadyFaultProcess steady(sim, inj, {});
+  int fires = 0;
+  FaultKind last = FaultKind::kCount;
+  steady.start([&](FaultKind k) {
+    ++fires;
+    last = k;
+  });
+  EXPECT_TRUE(steady.armed());
+  sim.run_until(sim.now() + 10 * sim::kMinute);
+  // Certain hit on the first check, then paused: no storm of callbacks.
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(last, FaultKind::kVmmCrash);
+  EXPECT_FALSE(steady.armed());
+  steady.resume();
+  EXPECT_TRUE(steady.armed());
+  sim.run_until(sim.now() + 10 * sim::kMinute);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SteadyFaultProcess, HangRollsOnlyAfterCrashMisses) {
+  sim::Simulation sim;
+  FaultConfig cfg;
+  cfg.vmm_hang_rate = 1.0;  // crash rate zero: never polled, never drawn
+  sim::Rng rng(5);
+  FaultInjector inj(cfg, rng.split());
+  fault::SteadyFaultProcess steady(sim, inj, {});
+  FaultKind last = FaultKind::kCount;
+  steady.start([&](FaultKind k) { last = k; });
+  sim.run_until(sim.now() + 10 * sim::kMinute);
+  EXPECT_EQ(last, FaultKind::kVmmHang);
+  EXPECT_EQ(inj.count(FaultKind::kVmmCrash), std::uint64_t{0});
+  EXPECT_EQ(inj.count(FaultKind::kVmmHang), std::uint64_t{1});
+}
+
+TEST(SteadyFaultProcess, ArrivalScheduleIsAFunctionOfSeedAndRatesOnly) {
+  auto arrivals = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    FaultConfig cfg;
+    cfg.vmm_crash_rate = 0.05;
+    cfg.vmm_hang_rate = 0.05;
+    sim::Rng rng(seed);
+    FaultInjector inj(cfg, rng.split());
+    fault::SteadyFaultProcess steady(sim, inj, {});
+    std::vector<std::pair<sim::SimTime, int>> fired;
+    steady.start([&](FaultKind k) {
+      fired.emplace_back(sim.now(), static_cast<int>(k));
+      steady.resume();
+    });
+    sim.run_until(4 * sim::kHour);
+    return fired;
+  };
+  EXPECT_EQ(arrivals(11), arrivals(11));
+  EXPECT_NE(arrivals(11), arrivals(12));
+}
+
+TEST(SteadyFaultProcess, StopCancelsThePendingCheck) {
+  sim::Simulation sim;
+  FaultConfig cfg;
+  cfg.vmm_crash_rate = 1.0;
+  sim::Rng rng(5);
+  FaultInjector inj(cfg, rng.split());
+  fault::SteadyFaultProcess steady(sim, inj, {});
+  steady.start([](FaultKind) { FAIL() << "stopped process fired"; });
+  ASSERT_TRUE(steady.armed());
+  steady.stop();
+  EXPECT_FALSE(steady.armed());
+  sim.run_until(sim.now() + 10 * sim::kMinute);
+  EXPECT_EQ(inj.count(FaultKind::kVmmCrash), std::uint64_t{0});
+}
+
 TEST(FaultInjector, ArmedHostScheduleIsAFunctionOfSeedOnly) {
   auto fingerprint = [](std::uint64_t seed) {
     sim::Simulation sim;

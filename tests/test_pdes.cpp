@@ -191,7 +191,7 @@ struct ClusterDigest {
   }
 };
 
-enum class Variant { kPlain, kFaults, kObserve, kSharded };
+enum class Variant { kPlain, kFaults, kObserve, kSharded, kCrashWave };
 
 std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
   // kSharded exercises the DESIGN.md §12 control plane: shard partitions
@@ -210,6 +210,13 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
   cfg.shards = shards;
   if (variant == Variant::kFaults) {
     cfg.faults = fault::FaultConfig::uniform(0.05);
+  }
+  if (variant == Variant::kCrashWave) {
+    // Unplanned VMM failures mid-wave: every host's turn opens with a
+    // crash-or-hang roll, and micro-recovery (a host-RNG draw per attempt)
+    // decides the rung each ladder lands on.
+    cfg.faults.vmm_crash_rate = 0.5;
+    cfg.faults.vmm_hang_rate = 0.5;
   }
   cfg.observe = variant == Variant::kObserve;
   cluster::Cluster cl(engine.partition(0), cfg);
@@ -244,9 +251,19 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
     });
   } else if (variant == Variant::kSharded) {
     engine.run_on(0, [&cl, &done] {
+      cluster::Cluster::WaveConfig wcfg;
+      wcfg.wave_size = 2;
       cl.rolling_rejuvenation_waves(
-          {.wave_size = 2},
-          [&done](const cluster::Cluster::WaveReport&) { done = true; });
+          wcfg, [&done](const cluster::Cluster::WaveReport&) { done = true; });
+    });
+  } else if (variant == Variant::kCrashWave) {
+    engine.run_on(0, [&cl, &done] {
+      cluster::Cluster::WaveConfig wcfg;
+      wcfg.wave_size = 2;
+      wcfg.supervisor.micro.enabled = true;
+      wcfg.supervisor.micro.success_rate = 0.7;
+      cl.rolling_rejuvenation_waves(
+          wcfg, [&done](const cluster::Cluster::WaveReport&) { done = true; });
     });
   } else {
     engine.run_on(0, [&cl, &done] {
@@ -275,6 +292,26 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
     d.mix(report.recovered_hosts.size());
     d.mix(report.failed_hosts.size());
     d.mix(report.pressured_hosts.size());
+  }
+  if (variant == Variant::kCrashWave) {
+    const auto& report = cl.last_wave_report();
+    d.mix(report.waves.size());
+    d.mix(report.degraded_hosts.size());
+    d.mix(report.unrecovered_hosts.size());
+    for (const auto& w : report.waves) {
+      d.mix(static_cast<std::uint64_t>(w.started));
+      d.mix(static_cast<std::uint64_t>(w.finished));
+      for (std::size_t i = 0; i < w.outcomes.size(); ++i) {
+        const auto& o = w.outcomes[i];
+        d.mix(w.outcome_hosts[i]);
+        d.mix(o.micro_attempts);
+        d.mix(o.micro_recovered ? 1 : 0);
+        d.mix(o.vmm_crashed ? 1 : 0);
+        d.mix(static_cast<std::uint64_t>(o.completed));
+        d.mix(static_cast<std::uint64_t>(o.total_duration()));
+        d.mix(o.recoveries.size());
+      }
+    }
   }
   if (variant == Variant::kSharded) {
     d.mix(cl.sharded_balancer()->state_digest());
@@ -307,14 +344,15 @@ TEST_P(PdesClusterDigestGrid, OneVsNWorkersBitwiseIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Fig9Topology, PdesClusterDigestGrid,
                          ::testing::Values(Variant::kPlain, Variant::kFaults,
-                                           Variant::kObserve,
-                                           Variant::kSharded),
+                                           Variant::kObserve, Variant::kSharded,
+                                           Variant::kCrashWave),
                          [](const auto& info) {
                            switch (info.param) {
                              case Variant::kPlain: return "plain";
                              case Variant::kFaults: return "faults";
                              case Variant::kObserve: return "observe";
                              case Variant::kSharded: return "sharded";
+                             case Variant::kCrashWave: return "crashwave";
                            }
                            return "unknown";
                          });

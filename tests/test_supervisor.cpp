@@ -180,6 +180,38 @@ TEST(Supervisor, IsOneShot) {
   EXPECT_THROW(sup.recover([](const SupervisorReport&) {}), InvariantViolation);
 }
 
+TEST(Supervisor, OverlappingLaddersOnOneHostAreRejectedLoudly) {
+  // Regression: a second Supervisor entering any entry point while a
+  // ladder is already in flight on the same host used to interleave state
+  // silently; now the host-level guard fails fast, mirroring the
+  // rolling-pass guard at cluster level.
+  HostFixture fx(2);
+  Supervisor first(*fx.host, fx.guest_ptrs(), {});
+  bool done = false;
+  first.run([&done](const SupervisorReport&) { done = true; });
+  ASSERT_TRUE(fx.host->recovery_in_progress());
+  ASSERT_TRUE(fx.host->up());  // the guard must trip, not the host check
+
+  Supervisor second(*fx.host, fx.guest_ptrs(), {});
+  EXPECT_THROW(second.run([](const SupervisorReport&) {}), InvariantViolation);
+  EXPECT_THROW(second.recover([](const SupervisorReport&) {}),
+               InvariantViolation);
+  EXPECT_THROW(second.respond_to_failure(FaultKind::kVmmCrash,
+                                         [](const SupervisorReport&) {}),
+               InvariantViolation);
+
+  // The rejected attempts must not have corrupted the in-flight ladder or
+  // wedged the guard.
+  run_until_flag(fx.sim, done, 2 * sim::kHour);
+  EXPECT_TRUE(first.report().success);
+  EXPECT_FALSE(fx.host->recovery_in_progress());
+  Supervisor third(*fx.host, fx.guest_ptrs(), {});
+  bool done_third = false;
+  third.recover([&done_third](const SupervisorReport&) { done_third = true; });
+  run_until_flag(fx.sim, done_third, 2 * sim::kHour);
+  EXPECT_TRUE(third.report().success);
+}
+
 TEST(Supervisor, MigrationAbortLeavesVmRunningOnSource) {
   // Not a supervisor path, but the same failing world: a migration stream
   // that dies mid-pre-copy must leave the VM untouched on the source.
