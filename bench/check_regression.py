@@ -31,7 +31,8 @@ import statistics
 import sys
 
 SUITE_FILES = ["BENCH_sched.json", "BENCH_runner.json", "BENCH_pdes.json",
-               "BENCH_scale.json", "BENCH_microrec.json"]
+               "BENCH_scale.json", "BENCH_microrec.json",
+               "BENCH_crashscale.json"]
 MEDIAN_WINDOW = 5
 
 
@@ -113,12 +114,26 @@ def microrec_metrics(doc):
     return out
 
 
+def crashscale_metrics(doc):
+    """Fleet-level crossover: the micro ladder's p99 session availability
+    at the base steady fault rate, 1000 hosts. Higher is better and sits
+    near 1.0; it collapses when failure-reactive admission, the recovery
+    drivers, or crash-evict/readmit stop holding the fleet up under
+    steady unplanned VMM failures."""
+    out = {}
+    p99 = doc.get("p99_availability_at_base_rate")
+    if p99:
+        out["crashscale/p99_availability_at_base_rate"] = float(p99)
+    return out
+
+
 EXTRACTORS = {
     "BENCH_sched.json": sched_metrics,
     "BENCH_runner.json": runner_metrics,
     "BENCH_pdes.json": pdes_metrics,
     "BENCH_scale.json": scale_metrics,
     "BENCH_microrec.json": microrec_metrics,
+    "BENCH_crashscale.json": crashscale_metrics,
 }
 
 

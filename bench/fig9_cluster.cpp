@@ -345,6 +345,8 @@ int run_scale(const ScaleOptions& o) {
      << "  \"pooled_availability\": " << stats.pooled_availability << ",\n"
      << "  \"p99_availability\": " << stats.availability_p99 << ",\n"
      << "  \"p999_availability\": " << stats.availability_p999 << ",\n"
+     << "  \"planned_downtime_us\": " << stats.planned_downtime << ",\n"
+     << "  \"unplanned_downtime_us\": " << stats.unplanned_downtime << ",\n"
      << "  \"p99_session_downtime_us\": "
      << stats.session_downtime.percentile(99.0) << ",\n"
      << "  \"p999_session_downtime_us\": "

@@ -10,8 +10,9 @@
 //
 // Each replication is a one-hour window over 4 probed JBoss VMs: one
 // supervised rejuvenation at the start, then a SteadyFaultProcess rolling
-// kVmmCrash / kVmmHang at the swept rate; every hit spawns a Supervisor
-// ladder via respond_to_failure(). At rate 0 micro and warm are the same
+// kVmmCrash / kVmmHang at the swept rate; every hit goes through a
+// rejuv::RecoveryDriver (a fresh Supervisor ladder per failure, arrivals
+// absorbed while any ladder owns the host). At rate 0 micro and warm are the same
 // run byte-for-byte (micro-recovery costs nothing until a crash happens);
 // the figure of interest is the rate region where micro strictly
 // dominates warm while warm still dominates saved/cold.
@@ -28,6 +29,7 @@
 #include "bench_util.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "rejuv/recovery_driver.hpp"
 #include "rejuv/supervisor.hpp"
 
 namespace {
@@ -86,27 +88,20 @@ exp::ReplicationResult microrec_replication(const Ladder& ladder, double rate,
   const sim::SimTime start = tb.sim.now();
   const sim::SimTime end = start + sim::kHour;
 
-  // Supervisors must outlive their ladders; completion order is arbitrary.
-  std::vector<std::unique_ptr<rejuv::Supervisor>> supervisors;
-  supervisors.push_back(
-      std::make_unique<rejuv::Supervisor>(*tb.host, tb.guest_ptrs(), scfg));
-  supervisors.front()->run([](const rejuv::SupervisorReport&) {});
+  // The planned pass owns its Supervisor; unplanned arrivals go through
+  // the reusable recovery driver (absorb while any ladder owns the host,
+  // else a fresh Supervisor per failure).
+  rejuv::Supervisor planned(*tb.host, tb.guest_ptrs(), scfg);
+  planned.run([](const rejuv::SupervisorReport&) {});
 
+  rejuv::RecoveryDriver driver(*tb.host, tb.guest_ptrs(), scfg);
   fault::SteadyFaultProcess steady(
       tb.sim, tb.host->faults(),
       {.check_interval = 2 * sim::kMinute});
   steady.start([&](fault::FaultKind kind) {
-    if (!tb.host->up() || tb.host->recovery_in_progress()) {
-      // A ladder already owns the host (e.g. the planned pass): this
-      // arrival is absorbed by the in-flight recovery.
+    driver.on_failure(kind, [&steady](const rejuv::RecoveryDriver::Outcome&) {
       steady.resume();
-      return;
-    }
-    supervisors.push_back(
-        std::make_unique<rejuv::Supervisor>(*tb.host, tb.guest_ptrs(), scfg));
-    supervisors.back()->respond_to_failure(
-        kind,
-        [&steady](const rejuv::SupervisorReport&) { steady.resume(); });
+    });
   });
   tb.sim.run_until(end);
   steady.stop();

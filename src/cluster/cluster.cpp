@@ -32,6 +32,11 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
   // slots are needed in sequential mode too.
   host_drivers_.resize(static_cast<std::size_t>(config_.hosts));
   host_supervisors_.resize(static_cast<std::size_t>(config_.hosts));
+  steady_slots_.resize(static_cast<std::size_t>(config_.hosts));
+  crash_down_.assign(static_cast<std::size_t>(config_.hosts), 0);
+  crash_evicted_.assign(static_cast<std::size_t>(config_.hosts), 0);
+  admin_evicted_.assign(static_cast<std::size_t>(config_.hosts), 0);
+  recently_recovered_.assign(static_cast<std::size_t>(config_.hosts), 0);
   if (config_.shards > 0) {
     sharded_ =
         std::make_unique<ShardedBalancer>(static_cast<std::size_t>(config_.shards));
@@ -410,8 +415,153 @@ void Cluster::finish_rolling(std::function<void(const RollingReport&)> on_done) 
 }
 
 void Cluster::set_host_out_of_rotation(std::size_t host_index, bool evicted) {
-  balancer_.set_host_evicted(hosts_[host_index].get(), evicted);
+  admin_evicted_[host_index] = evicted ? 1 : 0;
+  // The single balancer has one membership flag, so administrative and
+  // crash eviction compose by OR; the sharded balancer keeps them apart.
+  balancer_.set_host_evicted(hosts_[host_index].get(),
+                             evicted || crash_evicted_[host_index] != 0);
   if (sharded_ != nullptr) sharded_->set_host_evicted(host_index, evicted);
+}
+
+void Cluster::apply_crash_rotation(std::size_t host_index, bool crashed) {
+  crash_evicted_[host_index] = crashed ? 1 : 0;
+  balancer_.set_host_evicted(hosts_[host_index].get(),
+                             crashed || admin_evicted_[host_index] != 0);
+  if (sharded_ != nullptr) sharded_->set_host_crashed(host_index, crashed);
+}
+
+void Cluster::to_control(std::function<void()> fn) {
+  if (config_.engine == nullptr) {
+    fn();
+    return;
+  }
+  config_.engine->post(0, config_.calib.link.latency, std::move(fn));
+}
+
+void Cluster::start_steady_faults(const SteadyFaultsConfig& config) {
+  ensure(!steady_started_, "start_steady_faults: already armed");
+  steady_started_ = true;
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    auto arm = [this, h, config] {
+      vmm::Host& host = *hosts_[h];
+      SteadySlot& slot = steady_slots_[h];
+      slot.driver = std::make_unique<rejuv::RecoveryDriver>(
+          host, guests_of(static_cast<int>(h)), config.supervisor);
+      slot.process = std::make_unique<fault::SteadyFaultProcess>(
+          host.sim(), host.faults(), config.process);
+      // With both steady rates zero this schedules nothing and draws
+      // nothing: arming is free on fault-free runs.
+      slot.process->start(
+          [this, h](fault::FaultKind kind) { steady_fault(h, kind); });
+    };
+    if (config_.engine == nullptr) {
+      arm();
+    } else {
+      config_.engine->run_on(partition_of(static_cast<int>(h)),
+                             std::move(arm));
+    }
+  }
+}
+
+void Cluster::stop_steady_faults() {
+  for (std::size_t h = 0; h < steady_slots_.size(); ++h) {
+    auto disarm = [this, h] {
+      if (steady_slots_[h].process != nullptr) steady_slots_[h].process->stop();
+    };
+    if (config_.engine == nullptr) {
+      disarm();
+    } else {
+      // The process lives on the host's partition; disarm it there.
+      config_.engine->run_on(partition_of(static_cast<int>(h)),
+                             std::move(disarm));
+    }
+  }
+  steady_started_ = false;
+}
+
+std::size_t Cluster::unplanned_down_hosts() const {
+  std::size_t n = 0;
+  for (const auto d : crash_down_) n += d != 0 ? 1 : 0;
+  return n;
+}
+
+// Runs on the host's partition: one steady fault arrival. The driver
+// either absorbs it (a ladder already owns the host) or answers with a
+// fresh supervised ladder; the control plane learns of the outage start
+// and the outcome over the mailboxes, exactly like any other RPC.
+void Cluster::steady_fault(std::size_t host_index, fault::FaultKind kind) {
+  vmm::Host& host = *hosts_[host_index];
+  SteadySlot& slot = steady_slots_[host_index];
+  if (host.obs().enabled()) {
+    host.obs().emit(host.sim().now(), obs::Category::kFault,
+                    obs::EventKind::kSteadyFault, fault::to_string(kind),
+                    static_cast<std::int32_t>(host_index),
+                    static_cast<std::uint64_t>(kind));
+    ++host.obs().metrics().counter("host.steady_faults");
+  }
+  if (!slot.driver->would_absorb()) {
+    to_control([this, host_index] { on_unplanned_down(host_index); });
+  }
+  slot.driver->on_failure(
+      kind, [this, host_index,
+             &slot](const rejuv::RecoveryDriver::Outcome& out) {
+        vmm::Host& h = *hosts_[host_index];
+        if (out.absorbed) {
+          if (h.obs().enabled()) {
+            ++h.obs().metrics().counter("host.unplanned_absorbed");
+          }
+          to_control([this] { ++unplanned_.absorbed; });
+          if (slot.process->running()) slot.process->resume();
+          return;
+        }
+        const bool success = out.report->success;
+        const bool micro = out.report->micro_recovered;
+        const sim::Duration took = out.report->total_duration();
+        if (h.obs().enabled()) {
+          auto& m = h.obs().metrics();
+          m.counter("host.unplanned_downtime_us") +=
+              static_cast<std::uint64_t>(took);
+          ++m.counter(success ? "host.unplanned_recoveries"
+                              : "host.unplanned_unrecovered");
+        }
+        to_control([this, host_index, success, micro, took] {
+          on_unplanned_outcome(host_index, success, micro, took);
+        });
+        // A ladder that outlived stop_steady_faults() must not re-arm the
+        // dropped handler.
+        if (slot.process->running()) slot.process->resume();
+      });
+}
+
+void Cluster::on_unplanned_down(std::size_t host_index) {
+  ++unplanned_.failures;
+  crash_down_[host_index] = 1;
+  // Crash-evict: federated spillover absorbs the outage like a planned
+  // wave; the readmit rides the recovery outcome.
+  apply_crash_rotation(host_index, true);
+}
+
+void Cluster::on_unplanned_outcome(std::size_t host_index, bool success,
+                                   bool micro, sim::Duration took) {
+  crash_down_[host_index] = 0;
+  unplanned_.downtime += took;
+  if (success) {
+    ++unplanned_.recoveries;
+    if (micro) ++unplanned_.micro_recoveries;
+    apply_crash_rotation(host_index, false);
+    recently_recovered_[host_index] = 1;
+  } else {
+    // The unplanned ladder exhausted: the host stays crash-evicted. If a
+    // wave pass still had it pending, skip it -- running a planned turn
+    // on a dead host is pointless (and the Supervisor would refuse).
+    ++unplanned_.unrecovered;
+    if (wave_ != nullptr && wave_->scheduled[host_index] == 0) {
+      wave_->scheduled[host_index] = 1;
+      --wave_->remaining;
+      wave_report_.unrecovered_hosts.push_back(host_index);
+    }
+  }
+  wave_kick();
 }
 
 void Cluster::set_host_backpressured(std::size_t host_index, bool pressured) {
@@ -506,16 +656,24 @@ void Cluster::wave_collect(std::size_t host_index, std::uint64_t load,
 }
 
 void Cluster::wave_launch() {
+  // Hosts currently down from an unplanned crash are not candidates (a
+  // turn cannot run on a dead host) but still count against the
+  // concurrent-downtime budget below.
   std::vector<std::size_t> candidates;
   for (std::size_t h = 0; h < hosts_.size(); ++h) {
-    if (wave_->scheduled[h] == 0) candidates.push_back(h);
+    if (wave_->scheduled[h] == 0 && crash_down_[h] == 0) candidates.push_back(h);
   }
   // Least-loaded hosts first so the wave drains as few active sessions as
   // possible; among equals, the memory-tightest (smallest preserved
   // headroom) host rejuvenates first; host index breaks remaining ties so
-  // the schedule is a pure function of the gathered signals.
+  // the schedule is a pure function of the gathered signals. Hosts that
+  // just micro-recovered sort last: they were freshly rebuilt moments ago
+  // and their sessions just finished failing over.
   std::sort(candidates.begin(), candidates.end(),
             [this](std::size_t a, std::size_t b) {
+              if (recently_recovered_[a] != recently_recovered_[b]) {
+                return recently_recovered_[a] < recently_recovered_[b];
+              }
               if (wave_->load[a] != wave_->load[b]) {
                 return wave_->load[a] < wave_->load[b];
               }
@@ -525,10 +683,21 @@ void Cluster::wave_launch() {
               return a < b;
             });
   std::size_t k = static_cast<std::size_t>(wave_->config.wave_size);
-  if (wave_->config.max_concurrent_down > 0) {
-    k = std::min(k, static_cast<std::size_t>(wave_->config.max_concurrent_down));
-  }
+  // Unplanned crashes spend the same budget as planned turns: admission
+  // pauses when crashes alone exhaust it, and the next unplanned recovery
+  // replans the remaining order from live outcomes (wave_kick).
+  const std::size_t budget =
+      wave_->config.max_concurrent_down > 0
+          ? static_cast<std::size_t>(wave_->config.max_concurrent_down)
+          : static_cast<std::size_t>(wave_->config.wave_size);
+  const std::size_t down_now = unplanned_down_hosts();
+  k = std::min(k, budget > down_now ? budget - down_now : 0);
   k = std::min(k, candidates.size());
+  if (k == 0) {
+    wave_->paused = true;
+    ++wave_report_.admission_pauses;
+    return;
+  }
   WaveReport::Wave wave;
   wave.started = sim_.now();
   wave.hosts.assign(candidates.begin(),
@@ -539,8 +708,15 @@ void Cluster::wave_launch() {
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t h = wave_report_.waves.back().hosts[i];
     wave_->scheduled[h] = 1;
+    recently_recovered_[h] = 0;
     wave_run_host(h);
   }
+}
+
+void Cluster::wave_kick() {
+  if (wave_ == nullptr || !wave_->paused || wave_->inflight != 0) return;
+  wave_->paused = false;
+  wave_gather();
 }
 
 void Cluster::wave_run_host(std::size_t host_index) {
@@ -551,6 +727,10 @@ void Cluster::wave_run_host(std::size_t host_index) {
   scfg.preferred = wave_->config.kind;
   if (config_.engine == nullptr) {
     vmm::Host& h = *hosts_[host_index];
+    if (!h.up() || h.recovery_in_progress()) {
+      wave_host_deferred(host_index);
+      return;
+    }
     obs::SpanId turn = obs::kNoSpan;
     if (h.obs().enabled()) {
       turn = h.obs().span_open(sim_.now(), obs::Phase::kRollingPass,
@@ -576,6 +756,16 @@ void Cluster::wave_run_host(std::size_t host_index) {
       partition_of(static_cast<int>(host_index)), config_.calib.link.latency,
       [this, host_index, scfg] {
         vmm::Host& h = *hosts_[host_index];
+        if (!h.up() || h.recovery_in_progress()) {
+          // An unplanned ladder took the host between launch and arrival
+          // (the crash notification is still in flight): hand the turn
+          // back instead of colliding with the overlap guard.
+          config_.engine->post(0, config_.calib.link.latency,
+                               [this, host_index] {
+            wave_host_deferred(host_index);
+          });
+          return;
+        }
         obs::SpanId turn = obs::kNoSpan;
         if (h.obs().enabled()) {
           turn = h.obs().span_open(
@@ -599,9 +789,20 @@ void Cluster::wave_run_host(std::size_t host_index) {
       });
 }
 
+void Cluster::wave_host_deferred(std::size_t host_index) {
+  ++wave_report_.deferred_turns;
+  wave_->scheduled[host_index] = 0;
+  ++wave_->remaining;
+  if (--wave_->inflight == 0) {
+    wave_report_.waves.back().finished = sim_.now();
+    wave_gather();
+  }
+}
+
 void Cluster::wave_host_done(std::size_t host_index,
                              rejuv::SupervisorReport report) {
   durations_.push_back(report.total_duration());
+  wave_report_.planned_downtime += report.total_duration();
   WaveReport::Wave& wave = wave_report_.waves.back();
   wave.outcome_hosts.push_back(host_index);
   if (!report.success) {

@@ -11,7 +11,9 @@
 
 #include "cluster/load_balancer.hpp"
 #include "cluster/sharded_balancer.hpp"
+#include "fault/fault.hpp"
 #include "rejuv/reboot_driver.hpp"
+#include "rejuv/recovery_driver.hpp"
 #include "rejuv/supervisor.hpp"
 
 namespace rh::cluster {
@@ -150,6 +152,43 @@ class Cluster {
     rejuv::SupervisorConfig supervisor;
   };
 
+  /// Knobs for steady in-service faults at cluster scale (DESIGN.md §14).
+  struct SteadyFaultsConfig {
+    /// Per-host check cadence; the rates come from Config::faults.
+    fault::SteadyFaultProcess::Config process;
+    /// Ladder template for every unplanned failure (micro-recovery etc.).
+    rejuv::SupervisorConfig supervisor;
+  };
+
+  /// Control-plane accounting of unplanned (steady-fault) downtime.
+  struct UnplannedReport {
+    std::uint64_t failures = 0;  ///< steady faults that started a ladder
+    std::uint64_t absorbed = 0;  ///< arrivals covered by in-flight recovery
+    std::uint64_t recoveries = 0;
+    std::uint64_t micro_recoveries = 0;
+    std::uint64_t unrecovered = 0;  ///< ladders that exhausted (host evicted)
+    /// Summed unplanned ladder durations (host-level wall of downtime).
+    sim::Duration downtime = 0;
+  };
+
+  /// Arms a SteadyFaultProcess plus a rejuv::RecoveryDriver on every
+  /// host's own partition: hosts crash and recover in service, each
+  /// failure is answered by a fresh supervised ladder (or absorbed when a
+  /// planned wave turn already owns the host), and outcomes are notified
+  /// to the control plane over the mailboxes -- crash-evicting/readmitting
+  /// the host's backends on every balancer and steering wave admission.
+  /// With both steady rates zero nothing is scheduled and no RNG is drawn,
+  /// so fault-free runs stay digest-identical. Call while the engine (if
+  /// any) is quiescent.
+  void start_steady_faults(const SteadyFaultsConfig& config);
+  /// Disarms every host's steady process. Quiescent callers only.
+  void stop_steady_faults();
+  [[nodiscard]] const UnplannedReport& unplanned_report() const {
+    return unplanned_;
+  }
+  /// Hosts the control plane currently believes to be crash-down.
+  [[nodiscard]] std::size_t unplanned_down_hosts() const;
+
   /// Outcome of one wave-based rolling pass.
   struct WaveReport {
     struct Wave {
@@ -170,8 +209,21 @@ class Cluster {
     /// (completed != attempted: a mid-wave ladder descent).
     std::vector<std::size_t> degraded_hosts;
     /// Hosts whose ladder exhausted with VMs unrecovered; evicted from
-    /// every balancer (waves have no end-of-pass retry queue).
+    /// every balancer (waves have no end-of-pass retry queue). With steady
+    /// faults armed this also lists hosts an *unplanned* ladder lost while
+    /// they were still pending -- the pass skips them instead of running a
+    /// turn on a dead host.
     std::vector<std::size_t> unrecovered_hosts;
+    /// Planned host-level downtime: summed wave-turn ladder durations
+    /// (the unplanned share lives in Cluster::unplanned_report()).
+    sim::Duration planned_downtime = 0;
+    /// Times wave admission paused because unplanned crashes exhausted the
+    /// concurrent-downtime budget (or every pending host was crash-down);
+    /// the next unplanned recovery replans and resumes the pass.
+    std::size_t admission_pauses = 0;
+    /// Wave turns that arrived at a host an unplanned ladder already
+    /// owned; the turn was requeued and replanned, not run.
+    std::size_t deferred_turns = 0;
     [[nodiscard]] bool fully_recovered() const {
       return unrecovered_hosts.empty();
     }
@@ -246,12 +298,29 @@ class Cluster {
   /// into the host's MetricsRegistry when observability is on.
   [[nodiscard]] std::pair<std::uint64_t, std::int64_t> host_signals(
       std::size_t host_index);
+  /// Crash-evict/readmit: unplanned membership changes compose with
+  /// administrative evictions instead of overwriting them.
+  void apply_crash_rotation(std::size_t host_index, bool crashed);
+  /// Host-partition handler for one steady fault arrival.
+  void steady_fault(std::size_t host_index, fault::FaultKind kind);
+  /// Control-partition notifications from the per-host recovery drivers.
+  void on_unplanned_down(std::size_t host_index);
+  void on_unplanned_outcome(std::size_t host_index, bool success, bool micro,
+                            sim::Duration took);
+  /// Runs `fn` on the control partition (posted under the engine, inline
+  /// on the single calendar).
+  void to_control(std::function<void()> fn);
   void wave_gather();
   void wave_collect(std::size_t host_index, std::uint64_t load,
                     std::int64_t headroom);
   void wave_launch();
   void wave_run_host(std::size_t host_index);
   void wave_host_done(std::size_t host_index, rejuv::SupervisorReport report);
+  /// A launched turn found its host owned by an unplanned ladder: requeue.
+  void wave_host_deferred(std::size_t host_index);
+  /// Resumes a paused pass after an unplanned recovery (replans from the
+  /// next signal gather).
+  void wave_kick();
 
   sim::Simulation& sim_;
   Config config_;
@@ -282,9 +351,28 @@ class Cluster {
     std::size_t replies_pending = 0;
     std::size_t inflight = 0;
     std::size_t remaining = 0;
+    /// Admission paused on an exhausted crash budget; an unplanned
+    /// recovery clears it and re-gathers.
+    bool paused = false;
   };
   std::unique_ptr<WaveState> wave_;
   WaveReport wave_report_;
+  /// Per-host steady fault machinery; each slot is constructed, driven and
+  /// destroyed on its host's own partition.
+  struct SteadySlot {
+    std::unique_ptr<fault::SteadyFaultProcess> process;
+    std::unique_ptr<rejuv::RecoveryDriver> driver;
+  };
+  std::vector<SteadySlot> steady_slots_;
+  bool steady_started_ = false;
+  /// Control-plane crash state (all mutated on partition 0 only).
+  UnplannedReport unplanned_;
+  std::vector<std::uint8_t> crash_down_;       ///< unplanned ladder in flight
+  std::vector<std::uint8_t> crash_evicted_;    ///< crash-evicted from rotation
+  std::vector<std::uint8_t> admin_evicted_;    ///< planned/ladder eviction
+  /// Hosts that just micro-recovered; deprioritised in the next wave sort
+  /// (cleared once the pass schedules them).
+  std::vector<std::uint8_t> recently_recovered_;
 };
 
 }  // namespace rh::cluster

@@ -26,6 +26,8 @@ SessionFleet::SessionFleet(ShardedBalancer& balancer, Config config)
     sl.issued_at.assign(n, kIdle);
     sl.down_since.assign(n, kUp);
     sl.downtime.assign(n, 0);
+    sl.downtime_unplanned.assign(n, 0);
+    sl.down_unplanned.assign(n, 0);
     sl.completions.assign(n, 0);
     sl.failures.assign(n, 0);
   }
@@ -124,13 +126,26 @@ void SessionFleet::on_reply(std::uint32_t shard, std::uint32_t i, bool ok) {
     if (sl.down_since[i] != kUp) {
       // Recovery: the outage ran from the first failed issue to this
       // completion.
-      sl.downtime[i] += now - sl.down_since[i];
+      const sim::Duration d = now - sl.down_since[i];
+      sl.downtime[i] += d;
+      if (sl.down_unplanned[i] != 0) {
+        sl.downtime_unplanned[i] += d;
+        sl.down_unplanned[i] = 0;
+      }
       sl.down_since[i] = kUp;
     }
     sl.next_due[i] = now + think_of(sl.first + i);
   } else {
     ++sl.failures[i];
-    if (sl.down_since[i] == kUp) sl.down_since[i] = issued;
+    if (sl.down_since[i] == kUp) {
+      sl.down_since[i] = issued;
+      // Cause attribution, sampled once at outage start from the shard's
+      // own membership view (partition-local, so worker-count invariant).
+      if (balancer_.shard_unplanned_down(shard) > 0) {
+        sl.down_unplanned[i] = 1;
+        ++sl.unplanned_marks;
+      }
+    }
     sl.next_due[i] = now + config_.retry_interval;
   }
 }
@@ -138,6 +153,7 @@ void SessionFleet::on_reply(std::uint32_t shard, std::uint32_t i, bool ok) {
 void SessionFleet::begin_window(sim::SimTime now) {
   for (auto& sl : slices_) {
     std::fill(sl.downtime.begin(), sl.downtime.end(), 0);
+    std::fill(sl.downtime_unplanned.begin(), sl.downtime_unplanned.end(), 0);
     std::fill(sl.completions.begin(), sl.completions.end(), 0);
     std::fill(sl.failures.begin(), sl.failures.end(), 0);
     sl.latency.clear();
@@ -159,11 +175,17 @@ SessionFleet::Stats SessionFleet::stats(sim::SimTime window_end) const {
       out.completions += sl.completions[i];
       out.failures += sl.failures[i];
       sim::Duration d = sl.downtime[i];
+      sim::Duration unplanned = sl.downtime_unplanned[i];
       if (sl.down_since[i] != kUp) {
-        d += window_end - sl.down_since[i];
+        const sim::Duration open = window_end - sl.down_since[i];
+        d += open;
+        if (sl.down_unplanned[i] != 0) unplanned += open;
         ++out.sessions_down_at_end;
       }
       d = std::min<sim::Duration>(d, window_end - window_start_);
+      unplanned = std::min(unplanned, d);
+      out.unplanned_downtime += unplanned;
+      out.planned_downtime += d - unplanned;
       out.session_downtime.add(d);
       total_down += static_cast<double>(d);
     }
@@ -194,6 +216,15 @@ std::uint64_t SessionFleet::state_digest() const {
       mix(static_cast<std::uint64_t>(sl.failures[i]));
       mix(static_cast<std::uint64_t>(sl.downtime[i]));
       mix(static_cast<std::uint64_t>(sl.next_due[i]));
+    }
+    // Attribution columns join the digest only once an outage on this
+    // slice was ever charged unplanned: crash-free runs keep the exact
+    // pre-crash digest chain.
+    if (sl.unplanned_marks != 0) {
+      mix(sl.unplanned_marks);
+      for (const auto u : sl.downtime_unplanned) {
+        mix(static_cast<std::uint64_t>(u));
+      }
     }
   }
   return h;

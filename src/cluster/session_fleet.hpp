@@ -55,6 +55,12 @@ class SessionFleet {
     double availability_p999 = 1.0;
     /// 1 - total_downtime / (sessions * window).
     double pooled_availability = 1.0;
+    /// Pooled downtime split by cause (DESIGN.md §14): an outage is
+    /// charged as unplanned when the session's shard knew of at least one
+    /// crash-downed host at the moment the outage began, and as planned
+    /// (wave / admin eviction) otherwise.
+    sim::Duration planned_downtime = 0;
+    sim::Duration unplanned_downtime = 0;
   };
 
   SessionFleet(ShardedBalancer& balancer, Config config);
@@ -92,9 +98,16 @@ class SessionFleet {
     std::vector<sim::SimTime> issued_at;   ///< kIdle when not in flight
     std::vector<sim::SimTime> down_since;  ///< kUp when healthy
     std::vector<sim::Duration> downtime;   ///< closed downtime this window
+    /// Unplanned share of `downtime` (cause sampled at outage start).
+    std::vector<sim::Duration> downtime_unplanned;
+    /// 1 while the open outage began under a known crash-down host.
+    std::vector<std::uint8_t> down_unplanned;
     std::vector<std::uint32_t> completions;
     std::vector<std::uint32_t> failures;
     sim::LatencyHistogram latency;
+    /// Outages ever attributed unplanned on this slice (monotone; gates
+    /// digest mixing so crash-free runs keep the pre-crash digest chain).
+    std::uint64_t unplanned_marks = 0;
   };
   static constexpr sim::SimTime kIdle = -1;
   static constexpr sim::SimTime kUp = -1;

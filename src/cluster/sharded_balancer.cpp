@@ -33,6 +33,7 @@ void ShardedBalancer::add_backend(Backend backend) {
   for (auto& sh : shards_) {
     sh.evicted.push_back(0);
     sh.pressured.push_back(0);
+    sh.crashed.push_back(0);
     sh.next_file.push_back(0);
   }
   shards_[owner].owned.push_back(b);
@@ -98,6 +99,34 @@ void ShardedBalancer::set_host_pressured(std::size_t host_index,
   }
 }
 
+void ShardedBalancer::set_host_crashed(std::size_t host_index, bool crashed) {
+  // Shard-side application; tracks whether the host's membership actually
+  // flipped so crashed_hosts stays balanced under repeated broadcasts.
+  auto apply = [this, host_index, crashed](Shard& sh) {
+    const std::uint8_t want = crashed ? 1 : 0;
+    bool changed = false;
+    for (std::size_t b = 0; b < backends_.size(); ++b) {
+      if (backends_[b].host_index != host_index) continue;
+      if (sh.crashed[b] != want) {
+        sh.crashed[b] = want;
+        changed = true;
+      }
+    }
+    if (changed) {
+      sh.crashed_hosts += crashed ? 1u : -1u;
+      ++sh.crash_events;
+    }
+  };
+  if (quiescent()) {
+    for (auto& sh : shards_) apply(sh);
+    return;
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    engine_->post(shard_partition(s), rpc_latency_,
+                  [this, s, apply] { apply(shards_[s]); });
+  }
+}
+
 void ShardedBalancer::dispatch(std::uint64_t key,
                                std::function<void(bool)> done) {
   start_on(home_shard(key), std::move(done));
@@ -146,7 +175,7 @@ void ShardedBalancer::try_shard(std::shared_ptr<Request> state) {
     --state->probes_left;
     const std::uint32_t b = sh.owned[sh.rr % sh.owned.size()];
     ++sh.rr;
-    if (sh.evicted[b] != 0) continue;
+    if (sh.evicted[b] != 0 || sh.crashed[b] != 0) continue;
     if (sh.pressured[b] != 0 && !state->allow_pressured) continue;
     const Backend& be = backends_[b];
     if (engine_ == nullptr) {
@@ -178,7 +207,7 @@ void ShardedBalancer::probe_reply(bool up, std::uint32_t b,
   // Membership re-check: an eviction (or pressure flag) that landed while
   // the probe was in flight must win -- the stale "up" reply alone never
   // puts a backend back in rotation.
-  if (!up || sh.evicted[b] != 0 ||
+  if (!up || sh.evicted[b] != 0 || sh.crashed[b] != 0 ||
       (sh.pressured[b] != 0 && !state->allow_pressured)) {
     try_shard(std::move(state));
     return;
@@ -292,6 +321,12 @@ std::size_t ShardedBalancer::evicted_backends() const {
   return n;
 }
 
+std::size_t ShardedBalancer::crashed_backends() const {
+  std::size_t n = 0;
+  for (const auto c : shards_.front().crashed) n += c != 0 ? 1 : 0;
+  return n;
+}
+
 std::uint64_t ShardedBalancer::state_digest() const {
   std::uint64_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](std::uint64_t v) {
@@ -306,6 +341,13 @@ std::uint64_t ShardedBalancer::state_digest() const {
     for (const auto f : sh.next_file) mix(f);
     for (const auto e : sh.evicted) mix(e);
     for (const auto p : sh.pressured) mix(p);
+    // Crash-membership state is mixed only once a broadcast has touched
+    // this shard: crash-free runs keep the exact pre-crash digest chain.
+    if (sh.crash_events != 0) {
+      mix(sh.crash_events);
+      mix(sh.crashed_hosts);
+      for (const auto c : sh.crashed) mix(c);
+    }
   }
   return h;
 }

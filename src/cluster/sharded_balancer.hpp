@@ -84,6 +84,13 @@ class ShardedBalancer {
   /// in service but only receives requests when nothing unpressured
   /// answers anywhere on the ring.
   void set_host_pressured(std::size_t host_index, bool pressured);
+  /// Crash-evict/readmit membership broadcast for *unplanned* downtime
+  /// (DESIGN.md §14): takes a crashed host's backends out of every shard's
+  /// view like an administrative eviction, but on its own flag so a crash
+  /// readmit can never cancel an administrative eviction (or vice versa).
+  /// Re-broadcasting the current state is a no-op shard-side, so the
+  /// membership counters stay balanced.
+  void set_host_crashed(std::size_t host_index, bool crashed);
 
   /// Dispatches one request for `key` starting at its home shard.
   /// Sequential mode: runs inline. Engine mode: call from inside
@@ -112,6 +119,18 @@ class ShardedBalancer {
   }
   /// Backends evicted on shard 0's view (all views agree when quiescent).
   [[nodiscard]] std::size_t evicted_backends() const;
+  /// Backends crash-evicted on shard 0's view. Quiescent reads only.
+  [[nodiscard]] std::size_t crashed_backends() const;
+  /// Hosts this shard's view currently knows to be crash-down. Safe to
+  /// read from the shard's own partition mid-run: the session fleet uses
+  /// it to attribute a beginning outage as planned vs unplanned.
+  [[nodiscard]] std::uint32_t shard_unplanned_down(std::size_t shard) const {
+    return shards_[shard].crashed_hosts;
+  }
+  /// Crash-evict/readmit broadcasts applied to shard 0's view (monotone).
+  [[nodiscard]] std::uint64_t crash_broadcasts() const {
+    return shards_.front().crash_events;
+  }
 
   /// FNV-1a over every shard's cursors and counters; worker-count
   /// invariant under the engine. Quiescent reads only.
@@ -125,10 +144,13 @@ class ShardedBalancer {
     std::size_t rr = 0;                    ///< shard-local round-robin
     std::vector<std::uint8_t> evicted;     ///< per-backend membership view
     std::vector<std::uint8_t> pressured;   ///< per-backend pressure view
+    std::vector<std::uint8_t> crashed;     ///< per-backend crash-down view
     std::vector<std::uint32_t> next_file;  ///< shard-local file cursors
     std::uint64_t dispatched = 0;
     std::uint64_t rejected = 0;
     std::uint64_t federated = 0;
+    std::uint32_t crashed_hosts = 0;  ///< hosts currently crash-down here
+    std::uint64_t crash_events = 0;   ///< crash broadcasts applied (monotone)
   };
   /// One in-flight request walking the ring. Probes are one RPC at a
   /// time; the reply re-checks the shard's membership view before the

@@ -151,10 +151,16 @@ class SteadyFaultProcess {
   void stop();
 
   /// Re-arms after a handled fault (next check is one interval from now).
+  /// No-op when a check is already pending, so overlapping recovery paths
+  /// (absorbed arrival + completed ladder) can both call it safely.
   void resume();
 
   /// Whether a check is currently scheduled.
   [[nodiscard]] bool armed() const { return pending_ != sim::kInvalidEventId; }
+
+  /// Whether the process is started and not stopped. A recovery ladder
+  /// that completes after stop() must not resume() a dropped handler.
+  [[nodiscard]] bool running() const { return static_cast<bool>(on_fault_); }
 
  private:
   void schedule_next();

@@ -28,6 +28,7 @@ const char* to_string(EventKind k) {
     case EventKind::kFaultInjected: return "fault-injected";
     case EventKind::kDomain: return "domain";
     case EventKind::kMark: return "mark";
+    case EventKind::kSteadyFault: return "steady-fault";
   }
   return "unknown";
 }

@@ -43,6 +43,7 @@ enum class EventKind : std::uint8_t {
   kFaultInjected,  ///< a fault::FaultKind fired (payload a = kind enum)
   kDomain,         ///< domain created/destroyed/suspended/resumed
   kMark,           ///< generic numeric observation
+  kSteadyFault,    ///< a steady in-service fault struck (payload a = kind)
 };
 
 [[nodiscard]] const char* to_string(Category c);

@@ -218,6 +218,32 @@ TEST(SteadyFaultProcess, ArrivalScheduleIsAFunctionOfSeedAndRatesOnly) {
   EXPECT_NE(arrivals(11), arrivals(12));
 }
 
+TEST(SteadyFaultProcess, ResumeIsANoOpWhileACheckIsPending) {
+  // A recovery driver may resume once for an absorbed arrival *and* once
+  // for the ladder that absorbed it; the second resume finds the next
+  // check already armed and must not double-schedule or draw.
+  sim::Simulation sim;
+  FaultConfig cfg;
+  cfg.vmm_crash_rate = 1.0;
+  sim::Rng rng(5);
+  FaultInjector inj(cfg, rng.split());
+  fault::SteadyFaultProcess steady(sim, inj, {});
+  int fires = 0;
+  steady.start([&](FaultKind) { ++fires; });
+  ASSERT_TRUE(steady.armed());
+  const std::size_t pending = sim.pending_events();
+  steady.resume();  // already armed: nothing changes
+  EXPECT_TRUE(steady.armed());
+  EXPECT_EQ(sim.pending_events(), pending);
+  sim.run_until(sim.now() + 10 * sim::kMinute);
+  EXPECT_EQ(fires, 1);
+  steady.resume();
+  steady.resume();  // double resume after a hit: second call is the no-op
+  EXPECT_EQ(sim.pending_events(), pending);
+  sim.run_until(sim.now() + 10 * sim::kMinute);
+  EXPECT_EQ(fires, 2);
+}
+
 TEST(SteadyFaultProcess, StopCancelsThePendingCheck) {
   sim::Simulation sim;
   FaultConfig cfg;

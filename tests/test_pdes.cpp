@@ -191,13 +191,22 @@ struct ClusterDigest {
   }
 };
 
-enum class Variant { kPlain, kFaults, kObserve, kSharded, kCrashWave };
+enum class Variant {
+  kPlain,
+  kFaults,
+  kObserve,
+  kSharded,
+  kCrashWave,
+  kCrashScale
+};
 
 std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
   // kSharded exercises the DESIGN.md §12 control plane: shard partitions
   // between the control plane and the hosts, a batched SessionFleet pinned
   // to the shards, and a wave-based rolling pass instead of the serial one.
-  const int shards = variant == Variant::kSharded ? 2 : 0;
+  const int shards =
+      variant == Variant::kSharded || variant == Variant::kCrashScale ? 2
+                                                                      : 0;
   sim::ParallelSimulation engine(
       {.partitions = static_cast<std::int32_t>(4 + shards),
        .workers = workers});
@@ -218,6 +227,14 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
     cfg.faults.vmm_crash_rate = 0.5;
     cfg.faults.vmm_hang_rate = 0.5;
   }
+  if (variant == Variant::kCrashScale) {
+    // Steady in-service faults under the sharded control plane: per-host
+    // SteadyFaultProcess arrivals race the wave turns, the recovery
+    // drivers, the crash-evict/readmit broadcasts, and the fleet's
+    // unplanned-downtime attribution across every partition boundary.
+    cfg.faults.vmm_crash_rate = 0.5;
+    cfg.faults.vmm_hang_rate = 0.25;
+  }
   cfg.observe = variant == Variant::kObserve;
   cluster::Cluster cl(engine.partition(0), cfg);
 
@@ -228,7 +245,7 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
   cluster::ClusterClientFleet fleet(engine.partition(0), cl.balancer(),
                                     {.connections = 8});
   std::unique_ptr<cluster::SessionFleet> sessions;
-  if (variant == Variant::kSharded) {
+  if (variant == Variant::kSharded || variant == Variant::kCrashScale) {
     sessions = std::make_unique<cluster::SessionFleet>(
         *cl.sharded_balancer(),
         cluster::SessionFleet::Config{
@@ -240,6 +257,13 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
     sessions->start(engine);
   } else {
     engine.run_on(0, [&fleet] { fleet.start(); });
+  }
+  if (variant == Variant::kCrashScale) {
+    cluster::Cluster::SteadyFaultsConfig sfc;
+    sfc.process.check_interval = sim::kSecond;
+    sfc.supervisor.micro.enabled = true;
+    sfc.supervisor.micro.success_rate = 0.7;
+    cl.start_steady_faults(sfc);
   }
   engine.run_until(engine.partition(0).now() + 10 * sim::kSecond);
 
@@ -253,6 +277,14 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
     engine.run_on(0, [&cl, &done] {
       cluster::Cluster::WaveConfig wcfg;
       wcfg.wave_size = 2;
+      cl.rolling_rejuvenation_waves(
+          wcfg, [&done](const cluster::Cluster::WaveReport&) { done = true; });
+    });
+  } else if (variant == Variant::kCrashScale) {
+    engine.run_on(0, [&cl, &done] {
+      cluster::Cluster::WaveConfig wcfg;
+      wcfg.wave_size = 2;
+      wcfg.max_concurrent_down = 2;  // crash-down hosts count against this
       cl.rolling_rejuvenation_waves(
           wcfg, [&done](const cluster::Cluster::WaveReport&) { done = true; });
     });
@@ -313,7 +345,7 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
       }
     }
   }
-  if (variant == Variant::kSharded) {
+  if (variant == Variant::kSharded || variant == Variant::kCrashScale) {
     d.mix(cl.sharded_balancer()->state_digest());
     d.mix(sessions->state_digest());
     const auto& report = cl.last_wave_report();
@@ -324,6 +356,21 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
       d.mix(static_cast<std::uint64_t>(w.finished));
       for (const auto h : w.hosts) d.mix(h);
     }
+  }
+  if (variant == Variant::kCrashScale) {
+    const auto& report = cl.last_wave_report();
+    d.mix(report.admission_pauses);
+    d.mix(report.deferred_turns);
+    d.mix(report.unrecovered_hosts.size());
+    d.mix(static_cast<std::uint64_t>(report.planned_downtime));
+    const auto& un = cl.unplanned_report();
+    d.mix(un.failures);
+    d.mix(un.absorbed);
+    d.mix(un.recoveries);
+    d.mix(un.micro_recoveries);
+    d.mix(un.unrecovered);
+    d.mix(static_cast<std::uint64_t>(un.downtime));
+    d.mix(cl.sharded_balancer()->crash_broadcasts());
   }
   for (int h = 0; h < cfg.hosts; ++h) {
     d.mix(cl.host(h).obs().spans().records().size());
@@ -345,7 +392,8 @@ TEST_P(PdesClusterDigestGrid, OneVsNWorkersBitwiseIdentical) {
 INSTANTIATE_TEST_SUITE_P(Fig9Topology, PdesClusterDigestGrid,
                          ::testing::Values(Variant::kPlain, Variant::kFaults,
                                            Variant::kObserve, Variant::kSharded,
-                                           Variant::kCrashWave),
+                                           Variant::kCrashWave,
+                                           Variant::kCrashScale),
                          [](const auto& info) {
                            switch (info.param) {
                              case Variant::kPlain: return "plain";
@@ -353,6 +401,7 @@ INSTANTIATE_TEST_SUITE_P(Fig9Topology, PdesClusterDigestGrid,
                              case Variant::kObserve: return "observe";
                              case Variant::kSharded: return "sharded";
                              case Variant::kCrashWave: return "crashwave";
+                             case Variant::kCrashScale: return "crashscale";
                            }
                            return "unknown";
                          });

@@ -147,6 +147,66 @@ TEST(ShardedBalancer, AllBackendsEvictedRejects) {
   EXPECT_EQ(rig.sb().dispatched(), std::uint64_t{0});
 }
 
+TEST(ShardedBalancer, CrashEvictionRoutesAroundThenReadmits) {
+  ShardedRig rig(4, 2, 1);  // shard 0 owns hosts {0, 2}
+  rig.sb().set_host_crashed(0, true);
+  EXPECT_EQ(rig.sb().crashed_backends(), std::size_t{1});
+  // The broadcast reaches every shard's membership view, not just the
+  // owner's: spillover targets must also know the backend is dead.
+  EXPECT_EQ(rig.sb().shard_unplanned_down(0), std::uint32_t{1});
+  EXPECT_EQ(rig.sb().shard_unplanned_down(1), std::uint32_t{1});
+
+  const std::uint64_t key = rig.key_homed_to(0);
+  int served = 0;
+  rig.sb().dispatch(key, [&](bool ok) { served += ok ? 1 : 0; });
+  rig.sim.run_for(5 * sim::kSecond);
+  // The surviving home backend picks it up: no federation, no rejection.
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(rig.served_by_host(0), std::uint64_t{0});
+  EXPECT_EQ(rig.served_by_host(2), std::uint64_t{1});
+  EXPECT_EQ(rig.sb().federated(), std::uint64_t{0});
+
+  // Recovery readmits; the broadcast counter saw both membership flips
+  // (and a redundant re-broadcast is not a flip).
+  rig.sb().set_host_crashed(0, false);
+  rig.sb().set_host_crashed(0, false);
+  EXPECT_EQ(rig.sb().crashed_backends(), std::size_t{0});
+  EXPECT_EQ(rig.sb().shard_unplanned_down(0), std::uint32_t{0});
+  EXPECT_EQ(rig.sb().crash_broadcasts(), std::uint64_t{2});
+  rig.sb().dispatch(key, [&](bool ok) { served += ok ? 1 : 0; });
+  rig.sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(served, 2);
+  EXPECT_EQ(rig.served_by_host(0), std::uint64_t{1});  // back in rotation
+}
+
+TEST(ShardedBalancer, CrashAndAdminEvictionAreIndependent) {
+  ShardedRig rig(4, 2, 1);
+  // Host 0 is both drained by the operator and crash-downed. The crash
+  // recovery readmit must NOT cancel the admin drain.
+  rig.sb().set_host_evicted(0, true);
+  rig.sb().set_host_crashed(0, true);
+  rig.sb().set_host_crashed(0, false);
+  EXPECT_EQ(rig.sb().crashed_backends(), std::size_t{0});
+  EXPECT_EQ(rig.sb().evicted_backends(), std::size_t{1});
+
+  const std::uint64_t key = rig.key_homed_to(0);
+  int served = 0;
+  rig.sb().dispatch(key, [&](bool ok) { served += ok ? 1 : 0; });
+  rig.sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(rig.served_by_host(0), std::uint64_t{0});  // still drained
+  EXPECT_EQ(rig.served_by_host(2), std::uint64_t{1});
+
+  // And the drain lifting alone restores service while a *new* crash
+  // keeps the host out.
+  rig.sb().set_host_evicted(0, false);
+  rig.sb().set_host_crashed(0, true);
+  rig.sb().dispatch(key, [&](bool ok) { served += ok ? 1 : 0; });
+  rig.sim.run_for(5 * sim::kSecond);
+  EXPECT_EQ(rig.served_by_host(0), std::uint64_t{0});
+  EXPECT_EQ(rig.served_by_host(2), std::uint64_t{2});
+}
+
 TEST(ShardedBalancer, PressuredHomeSpillsOverThenServesAsLastResort) {
   ShardedRig rig(2, 2, 1);  // shard s owns host s
   rig.sb().set_host_pressured(0, true);
