@@ -32,7 +32,7 @@ import sys
 
 SUITE_FILES = ["BENCH_sched.json", "BENCH_runner.json", "BENCH_pdes.json",
                "BENCH_scale.json", "BENCH_microrec.json",
-               "BENCH_crashscale.json"]
+               "BENCH_crashscale.json", "BENCH_scrape.json"]
 MEDIAN_WINDOW = 5
 
 
@@ -127,6 +127,27 @@ def crashscale_metrics(doc):
     return out
 
 
+def scrape_metrics(doc):
+    """Telemetry plane. Both headline numbers are lower-is-better, so
+    they enter the geomean as inverted ratios pinned in (0, 1]:
+
+    - detection_latency_p99: 1e6 / (1e6 + p99_us) -- how fast a dead
+      host goes scrape-dark vs the watchdog's ground truth. Falls when
+      the scraper/SLO path starts taking extra rounds to notice.
+    - overhead_pct: 1 / (1 + max(0, overhead)/100) -- executed-event
+      overhead of the scrape plane vs the wire-tap baseline at the
+      tightest interval. Deterministic (event counts, not wall time);
+      falls when the plane starts costing more simulation work."""
+    out = {}
+    p99 = doc.get("detection_latency_p99_us")
+    if p99 is not None and float(p99) > 0:
+        out["scrape/detection_latency_p99"] = 1e6 / (1e6 + float(p99))
+    ovh = doc.get("event_overhead_pct")
+    if ovh is not None:
+        out["scrape/overhead_pct"] = 1.0 / (1.0 + max(0.0, float(ovh)) / 100.0)
+    return out
+
+
 EXTRACTORS = {
     "BENCH_sched.json": sched_metrics,
     "BENCH_runner.json": runner_metrics,
@@ -134,6 +155,7 @@ EXTRACTORS = {
     "BENCH_scale.json": scale_metrics,
     "BENCH_microrec.json": microrec_metrics,
     "BENCH_crashscale.json": crashscale_metrics,
+    "BENCH_scrape.json": scrape_metrics,
 }
 
 

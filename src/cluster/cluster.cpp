@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "cluster/metrics_scraper.hpp"
 #include "simcore/check.hpp"
 
 namespace rh::cluster {
@@ -88,6 +89,8 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
     }
   }
 }
+
+Cluster::~Cluster() = default;
 
 vmm::Host& Cluster::host(int i) {
   ensure(i >= 0 && i < config_.hosts, "Cluster::host: index out of range");
@@ -536,6 +539,8 @@ void Cluster::steady_fault(std::size_t host_index, fault::FaultKind kind) {
 void Cluster::on_unplanned_down(std::size_t host_index) {
   ++unplanned_.failures;
   crash_down_[host_index] = 1;
+  // Ground truth for the telemetry plane's detection-latency metric.
+  if (scraper_ != nullptr) scraper_->note_host_down(host_index);
   // Crash-evict: federated spillover absorbs the outage like a planned
   // wave; the readmit rides the recovery outcome.
   apply_crash_rotation(host_index, true);
@@ -550,6 +555,7 @@ void Cluster::on_unplanned_outcome(std::size_t host_index, bool success,
     if (micro) ++unplanned_.micro_recoveries;
     apply_crash_rotation(host_index, false);
     recently_recovered_[host_index] = 1;
+    if (scraper_ != nullptr) scraper_->note_host_up(host_index);
   } else {
     // The unplanned ladder exhausted: the host stays crash-evicted. If a
     // wave pass still had it pending, skip it -- running a planned turn
@@ -560,6 +566,9 @@ void Cluster::on_unplanned_outcome(std::size_t host_index, bool success,
       --wave_->remaining;
       wave_report_.unrecovered_hosts.push_back(host_index);
     }
+    // The host stays down (down_since_ keeps its mark); flag it for a
+    // flight-recorder dump.
+    if (scraper_ != nullptr) scraper_->note_unrecovered(host_index);
   }
   wave_kick();
 }
@@ -592,6 +601,50 @@ std::pair<std::uint64_t, std::int64_t> Cluster::host_signals(
             : static_cast<double>(headroom);
   }
   return {load, headroom};
+}
+
+// Exporter collect hook, on the host's partition. Same signal math as
+// host_signals, but writes the registry unconditionally: scraping may run
+// with Config::observe off, where host_signals would skip the mirror, and
+// the scraped samples ARE the control plane's only view of the host.
+void Cluster::collect_host_metrics(std::size_t host_index) {
+  vmm::Host& h = *hosts_[host_index];
+  std::uint64_t load = 0;
+  for (auto& g : guests_[host_index]) {
+    auto* apache =
+        static_cast<guest::ApacheService*>(g->find_service("httpd"));
+    if (apache != nullptr) load += apache->requests_served();
+  }
+  const std::int64_t budget = h.preserved().frame_budget();
+  const std::int64_t headroom =
+      budget == 0 ? std::numeric_limits<std::int64_t>::max()
+                  : budget - h.preserved().reserved_frames();
+  auto& m = h.obs().metrics();
+  m.gauge("host.load") = static_cast<double>(load);
+  m.gauge("host.preserved_headroom") =
+      headroom == std::numeric_limits<std::int64_t>::max()
+          ? std::numeric_limits<double>::infinity()
+          : static_cast<double>(headroom);
+  m.counter("host.vmm_generation") =
+      static_cast<std::uint64_t>(h.vmm_generation());
+}
+
+void Cluster::start_scraping(const ScrapeConfig& config) {
+  ensure(scraper_ == nullptr, "start_scraping: already armed");
+  scraper_ = std::make_unique<MetricsScraper>(*this, config);
+  scraper_->start();
+}
+
+void Cluster::stop_scraping() {
+  ensure(scraper_ != nullptr, "stop_scraping: scraping was never started");
+  scraper_->stop();
+}
+
+void Cluster::set_scrape_admission_blocked(bool blocked) {
+  if (scrape_blocked_ == blocked) return;
+  scrape_blocked_ = blocked;
+  // Burn rate cooled down: resume a pass the gate paused.
+  if (!blocked) wave_kick();
 }
 
 void Cluster::rolling_rejuvenation_waves(
@@ -629,6 +682,23 @@ void Cluster::wave_gather() {
     on_done(wave_report_);
     return;
   }
+  if (wave_->config.signals == WaveSignalSource::kScraped) {
+    // Production-shaped ordering: the latest scraped samples, read
+    // straight off the control partition's TimeSeriesStore. No
+    // host-partition probe at all -- the scheduler sees exactly what the
+    // telemetry plane saw, up to one scrape interval old.
+    ensure(scraper_ != nullptr,
+           "rolling_rejuvenation_waves: scraped signals require "
+           "start_scraping()");
+    for (std::size_t h = 0; h < hosts_.size(); ++h) {
+      if (wave_->scheduled[h] != 0) continue;
+      const auto [load, headroom] = scraper_->wave_signals(h);
+      wave_->load[h] = load;
+      wave_->headroom[h] = headroom;
+    }
+    wave_launch();
+    return;
+  }
   wave_->replies_pending = wave_->remaining;
   for (std::size_t h = 0; h < hosts_.size(); ++h) {
     if (wave_->scheduled[h] != 0) continue;
@@ -656,6 +726,14 @@ void Cluster::wave_collect(std::size_t host_index, std::uint64_t load,
 }
 
 void Cluster::wave_launch() {
+  // SLO burn-rate gate (DESIGN.md §15): while the telemetry plane says
+  // the fleet is eating error budget too fast, planned maintenance
+  // admits nothing; the gate clearing kicks the pass awake.
+  if (scrape_blocked_) {
+    wave_->paused = true;
+    ++wave_report_.admission_pauses;
+    return;
+  }
   // Hosts currently down from an unplanned crash are not candidates (a
   // turn cannot run on a dead host) but still count against the
   // concurrent-downtime budget below.

@@ -12,11 +12,15 @@
 #include "cluster/load_balancer.hpp"
 #include "cluster/sharded_balancer.hpp"
 #include "fault/fault.hpp"
+#include "obs/slo.hpp"
+#include "obs/tsdb.hpp"
 #include "rejuv/reboot_driver.hpp"
 #include "rejuv/recovery_driver.hpp"
 #include "rejuv/supervisor.hpp"
 
 namespace rh::cluster {
+
+class MetricsScraper;
 
 class Cluster {
  public:
@@ -94,6 +98,7 @@ class Cluster {
   };
 
   Cluster(sim::Simulation& sim, Config config);
+  ~Cluster();  ///< out-of-line: scraper_ is a unique_ptr of a fwd decl
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
@@ -136,6 +141,20 @@ class Cluster {
       SupervisionConfig config,
       std::function<void(const RollingReport&)> on_done);
 
+  /// Where rolling_rejuvenation_waves reads its per-host ordering
+  /// signals from.
+  enum class WaveSignalSource : std::uint8_t {
+    /// Wire-tap: probe every pending host's in-process gauges over the
+    /// mailboxes before each wave (the historical behaviour).
+    kWireTap,
+    /// Production-shaped: read the latest scraped samples from the
+    /// MetricsScraper's TimeSeriesStore -- no direct gauge reads at all.
+    /// Requires start_scraping(); hosts whose series are missing or
+    /// stale are treated as unloaded/unconstrained (the scheduler acts
+    /// on what the telemetry shows, not on the truth).
+    kScraped,
+  };
+
   /// Knobs for the wave-based rolling pass (rolling_rejuvenation_waves).
   struct WaveConfig {
     /// Hosts rejuvenated concurrently per wave.
@@ -150,7 +169,39 @@ class Cluster {
     /// overrides `supervisor.preferred`, so historical call sites keep
     /// their meaning.
     rejuv::SupervisorConfig supervisor;
+    /// Signal source for the wave ordering (DESIGN.md §15).
+    WaveSignalSource signals = WaveSignalSource::kWireTap;
   };
+
+  /// Knobs for the telemetry plane (DESIGN.md §15): per-host /metrics
+  /// exporters scraped by a control-plane MetricsScraper over the
+  /// simulated links.
+  struct ScrapeConfig {
+    /// Scrape round cadence. Every host is scraped once per round.
+    sim::Duration interval = 15 * sim::kSecond;
+    /// A scrape unanswered for this long counts as failed; must exceed
+    /// the round-trip link latency and fit inside the interval.
+    sim::Duration timeout = 2 * sim::kSecond;
+    obs::TimeSeriesStore::Config tsdb;
+    obs::SloConfig slo;
+    /// Let the SLO evaluator's burn-rate rule pause wave admission.
+    bool gate_admission = true;
+    /// EventRing tail length snapshotted into flight-recorder dumps.
+    std::size_t flight_recorder_tail = 64;
+  };
+
+  /// Arms the telemetry plane: one MetricsExporter per host (on the
+  /// host's own partition) and a control-plane scraper round every
+  /// `interval`, paying real link latency both ways and timing out on
+  /// hosts that are down. Scraping off (the default) schedules nothing
+  /// and the run stays byte-identical to pre-telemetry builds. Call
+  /// while the engine (if any) is quiescent.
+  void start_scraping(const ScrapeConfig& config);
+  /// Stops future scrape rounds (in-flight ones resolve); the scraper
+  /// and its TimeSeriesStore stay readable. Quiescent callers only.
+  void stop_scraping();
+  /// The telemetry plane, or null before start_scraping().
+  [[nodiscard]] MetricsScraper* scraper() { return scraper_.get(); }
 
   /// Knobs for steady in-service faults at cluster scale (DESIGN.md §14).
   struct SteadyFaultsConfig {
@@ -267,6 +318,8 @@ class Cluster {
   }
 
  private:
+  friend class MetricsScraper;
+
   void register_backend(guest::GuestOs* os,
                         const std::shared_ptr<std::size_t>& remaining,
                         const std::shared_ptr<std::function<void()>>& ready);
@@ -298,6 +351,14 @@ class Cluster {
   /// into the host's MetricsRegistry when observability is on.
   [[nodiscard]] std::pair<std::uint64_t, std::int64_t> host_signals(
       std::size_t host_index);
+  /// Exporter-side collection hook: recomputes the wave signals (and a
+  /// few host facts) into the host's MetricsRegistry unconditionally --
+  /// scraping may run with Config::observe off, where host_signals()
+  /// would skip the mirror. Runs on the host's partition.
+  void collect_host_metrics(std::size_t host_index);
+  /// The scraper's SLO gate (control partition): while blocked,
+  /// wave_launch admits nothing; clearing the block kicks a paused pass.
+  void set_scrape_admission_blocked(bool blocked);
   /// Crash-evict/readmit: unplanned membership changes compose with
   /// administrative evictions instead of overwriting them.
   void apply_crash_rotation(std::size_t host_index, bool crashed);
@@ -373,6 +434,10 @@ class Cluster {
   /// Hosts that just micro-recovered; deprioritised in the next wave sort
   /// (cleared once the pass schedules them).
   std::vector<std::uint8_t> recently_recovered_;
+  /// Telemetry plane (DESIGN.md §15); null until start_scraping().
+  std::unique_ptr<MetricsScraper> scraper_;
+  /// SLO burn-rate gate: wave admission pauses while set.
+  bool scrape_blocked_ = false;
 };
 
 }  // namespace rh::cluster

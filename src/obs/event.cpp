@@ -46,6 +46,7 @@ TraceEvent& EventRing::push() {
       // Recycle the oldest slab in place: it becomes the newest.
       Slab& oldest = *slabs_[first_slab_];
       dropped_ += oldest.used;
+      ++recycled_;
       size_ -= oldest.used;
       oldest.used = 0;
       first_slab_ = (first_slab_ + 1) % slabs_.size();
@@ -61,6 +62,7 @@ void EventRing::clear() {
   first_slab_ = 0;
   size_ = 0;
   dropped_ = 0;
+  recycled_ = 0;
 }
 
 }  // namespace rh::obs

@@ -85,6 +85,11 @@ class EventRing {
   [[nodiscard]] std::size_t size() const { return size_; }
   /// Events discarded by ring recycling.
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Slabs currently allocated (bounded by max_slabs).
+  [[nodiscard]] std::size_t slabs() const { return slabs_.size(); }
+  /// Times the ring reused its oldest slab instead of growing. Together
+  /// with dropped() this makes trace loss observable instead of silent.
+  [[nodiscard]] std::uint64_t recycled_slabs() const { return recycled_; }
 
   /// Oldest-to-newest iteration over the retained events.
   template <typename Fn>
@@ -108,6 +113,7 @@ class EventRing {
   std::size_t max_slabs_;
   std::size_t size_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t recycled_ = 0;
 };
 
 }  // namespace rh::obs

@@ -1,10 +1,23 @@
 #include "obs/export.hpp"
 
+#include <charconv>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <string>
 
+#include "simcore/check.hpp"
+
 namespace rh::obs {
+
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v < 0 ? "-inf" : "inf";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  ensure(ec == std::errc{}, "fmt_double: to_chars failed");
+  return std::string(buf, end);
+}
 
 namespace {
 
@@ -106,24 +119,28 @@ void write_metrics_json(std::ostream& os, const MetricsRegistry& m) {
   }
   os << (m.counters().empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
+  // JSON has no literal for non-finite numbers; gauges can legitimately
+  // hold infinity (e.g. unlimited-budget headroom), so those render as
+  // quoted strings rather than producing invalid JSON.
+  const auto json_number = [](double v) {
+    return std::isfinite(v) ? fmt_double(v) : "\"" + fmt_double(v) + "\"";
+  };
   for (const auto& e : m.gauges()) {
-    std::snprintf(buf, sizeof buf, "%s\n    \"%s\": %.9g", first ? "" : ",",
-                  json_escape(e.name).c_str(), e.value);
-    os << buf;
+    os << (first ? "" : ",") << "\n    \"" << json_escape(e.name)
+       << "\": " << json_number(e.value);
     first = false;
   }
   os << (m.gauges().empty() ? "" : "\n  ") << "},\n  \"summaries\": {";
   first = true;
   for (const auto& e : m.summaries()) {
-    std::snprintf(buf, sizeof buf,
-                  "%s\n    \"%s\": {\"count\": %zu, \"mean\": %.9g, "
-                  "\"stddev\": %.9g, \"min\": %.9g, \"max\": %.9g}",
-                  first ? "" : ",", json_escape(e.name).c_str(),
-                  e.value.count(), e.value.count() ? e.value.mean() : 0.0,
-                  e.value.count() > 1 ? e.value.stddev() : 0.0,
-                  e.value.count() ? e.value.min() : 0.0,
-                  e.value.count() ? e.value.max() : 0.0);
-    os << buf;
+    os << (first ? "" : ",") << "\n    \"" << json_escape(e.name)
+       << "\": {\"count\": " << e.value.count()
+       << ", \"mean\": " << json_number(e.value.count() ? e.value.mean() : 0.0)
+       << ", \"stddev\": "
+       << json_number(e.value.count() > 1 ? e.value.stddev() : 0.0)
+       << ", \"min\": " << json_number(e.value.count() ? e.value.min() : 0.0)
+       << ", \"max\": " << json_number(e.value.count() ? e.value.max() : 0.0)
+       << "}";
     first = false;
   }
   os << (m.summaries().empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
@@ -132,11 +149,11 @@ void write_metrics_json(std::ostream& os, const MetricsRegistry& m) {
     std::snprintf(
         buf, sizeof buf,
         "%s\n    \"%s\": {\"count\": %" PRIu64
-        ", \"mean_us\": %.9g, \"p50_us\": %" PRId64 ", \"p99_us\": %" PRId64
+        ", \"mean_us\": %s, \"p50_us\": %" PRId64 ", \"p99_us\": %" PRId64
         ", \"max_us\": %" PRId64 "}",
         first ? "" : ",", json_escape(e.name).c_str(), e.value.count(),
-        e.value.mean(), e.value.percentile(50), e.value.percentile(99),
-        e.value.max());
+        fmt_double(e.value.mean()).c_str(), e.value.percentile(50),
+        e.value.percentile(99), e.value.max());
     os << buf;
     first = false;
   }

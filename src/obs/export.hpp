@@ -3,11 +3,21 @@
 #pragma once
 
 #include <ostream>
+#include <string>
 #include <string_view>
 
 #include "obs/observer.hpp"
 
 namespace rh::obs {
+
+/// Locale-independent, round-trip-exact double formatting
+/// (std::to_chars shortest form: strtod(fmt_double(v)) == v bit-for-bit).
+/// printf's %g honours the C locale's decimal point, so exporter output
+/// and BENCH_*.json digests could vary with the environment; every float
+/// the exporters and the Prometheus renderer emit goes through here
+/// instead. Infinities and NaN render as "inf"/"-inf"/"nan" (callers
+/// embedding the result in JSON must quote or gate non-finite values).
+[[nodiscard]] std::string fmt_double(double v);
 
 /// Appends one process's spans and events to a Chrome trace. Spans become
 /// async "b"/"e" pairs (async events tolerate the overlapping siblings a

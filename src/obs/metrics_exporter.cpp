@@ -1,0 +1,40 @@
+#include "obs/metrics_exporter.hpp"
+
+#include <sstream>
+
+#include "obs/prometheus.hpp"
+#include "simcore/check.hpp"
+
+namespace rh::obs {
+
+MetricsExporter::MetricsExporter(Observer& obs, std::string instance,
+                                 std::function<bool()> serving,
+                                 std::function<void()> collect)
+    : obs_(obs),
+      instance_(std::move(instance)),
+      serving_(std::move(serving)),
+      collect_(std::move(collect)) {
+  ensure(static_cast<bool>(serving_),
+         "MetricsExporter: serving predicate required");
+}
+
+bool MetricsExporter::handle_scrape(
+    const std::function<void(std::string body)>& reply) {
+  ensure(static_cast<bool>(reply), "MetricsExporter: reply callback required");
+  if (!serving_()) {
+    ++dropped_;
+    return false;
+  }
+  if (collect_) collect_();
+  obs_.mirror_ring_stats();
+  ++served_;
+  // The exporter's own serve count is itself a scraped metric, so the
+  // control plane can tell "first scrape" from "exporter restarted".
+  obs_.metrics().counter("obs.exporter_scrapes") = served_;
+  std::ostringstream os;
+  write_prometheus_text(os, obs_.metrics(), instance_);
+  reply(std::move(os).str());
+  return true;
+}
+
+}  // namespace rh::obs

@@ -1,0 +1,52 @@
+// Per-host /metrics exporter: renders the host's MetricsRegistry as
+// Prometheus text exposition in answer to a scrape.
+//
+// The exporter is the host-partition half of the telemetry plane
+// (DESIGN.md §15). It is deliberately generic -- it knows an Observer, a
+// "serving" predicate and an optional collect hook, never the vmm/cluster
+// types above it -- so it lives in obs/ and the cluster layer wires the
+// host-specific parts in: serving binds to Host::up() (a dom0 exporter
+// daemon dies with its host), collect mirrors the wave signals into the
+// registry. A scrape of a down host produces *no reply at all*: the
+// scraper's timeout is the only failure signal, exactly like production.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "obs/observer.hpp"
+
+namespace rh::obs {
+
+class MetricsExporter {
+ public:
+  /// `serving`: answers scrapes only while true (required).
+  /// `collect`: runs before each render to refresh registry values that
+  /// are computed rather than incremented (optional).
+  MetricsExporter(Observer& obs, std::string instance,
+                  std::function<bool()> serving,
+                  std::function<void()> collect = {});
+
+  /// Handles one scrape on the exporter's own partition. Serving:
+  /// refreshes collected metrics (including the obs.ring_* loss
+  /// counters), renders the registry, invokes `reply` with the body and
+  /// returns true. Not serving: counts the drop and returns false
+  /// without replying -- the caller's timeout does the rest.
+  bool handle_scrape(const std::function<void(std::string body)>& reply);
+
+  [[nodiscard]] const std::string& instance() const { return instance_; }
+  [[nodiscard]] std::uint64_t scrapes_served() const { return served_; }
+  [[nodiscard]] std::uint64_t scrapes_dropped() const { return dropped_; }
+
+ private:
+  Observer& obs_;
+  std::string instance_;
+  std::function<bool()> serving_;
+  std::function<void()> collect_;
+  std::uint64_t served_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace rh::obs

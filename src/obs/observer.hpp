@@ -80,6 +80,18 @@ class Observer {
     ambient_ = id;
   }
 
+  /// Mirrors the slab ring's loss/recycling stats into the registry as
+  /// `obs.ring_*` counters so scraped output shows trace loss instead of
+  /// hiding it. Deliberately NOT gated on enabled_: exporters collect from
+  /// the registry even when event emission is off (the counters then
+  /// simply read zero), and registry writes never affect the simulation.
+  void mirror_ring_stats() {
+    metrics_.counter("obs.ring_events") = ring_.size();
+    metrics_.counter("obs.ring_dropped") = ring_.dropped();
+    metrics_.counter("obs.ring_slabs") = ring_.slabs();
+    metrics_.counter("obs.ring_recycled_slabs") = ring_.recycled_slabs();
+  }
+
   // ------------------------------------------------------------ storage
   [[nodiscard]] const EventRing& events() const { return ring_; }
   [[nodiscard]] const SpanRecorder& spans() const { return spans_; }

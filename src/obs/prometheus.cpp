@@ -1,0 +1,181 @@
+#include "obs/prometheus.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstddef>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace rh::obs {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) out += valid_name_char(c) ? c : '_';
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string prometheus_label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// (rendered name, index into the registry section), sorted by name --
+/// registration order is deterministic but scrape output should also be
+/// *stable* under refactorings that reorder registration sites.
+template <typename T>
+std::vector<std::pair<std::string, std::size_t>> sorted_names(
+    const std::vector<MetricsRegistry::Entry<T>>& entries) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out.emplace_back(prometheus_name(entries[i].name), i);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus_text(std::ostream& os, const MetricsRegistry& m,
+                           std::string_view instance) {
+  const std::string inst = "instance=\"" + prometheus_label_escape(instance) + "\"";
+  for (const auto& [name, i] : sorted_names(m.counters())) {
+    os << "# TYPE " << name << " counter\n"
+       << name << "{" << inst << "} " << m.counters()[i].value << "\n";
+  }
+  for (const auto& [name, i] : sorted_names(m.gauges())) {
+    os << "# TYPE " << name << " gauge\n"
+       << name << "{" << inst << "} " << fmt_double(m.gauges()[i].value)
+       << "\n";
+  }
+  for (const auto& [name, i] : sorted_names(m.histograms())) {
+    const sim::LatencyHistogram& h = m.histograms()[i].value;
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < sim::LatencyHistogram::kBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      cum += h.bucket_count(b);
+      os << name << "_bucket{" << inst << ",le=\""
+         << sim::LatencyHistogram::bucket_upper_bound(b) << "\"} " << cum
+         << "\n";
+    }
+    os << name << "_bucket{" << inst << ",le=\"+Inf\"} " << h.count() << "\n"
+       << name << "_sum{" << inst << "} " << fmt_double(h.sum()) << "\n"
+       << name << "_count{" << inst << "} " << h.count() << "\n";
+  }
+  for (const auto& [name, i] : sorted_names(m.summaries())) {
+    const sim::Summary& s = m.summaries()[i].value;
+    os << "# TYPE " << name << " summary\n"
+       << name << "{" << inst << ",quantile=\"0\"} "
+       << fmt_double(s.count() ? s.min() : 0.0) << "\n"
+       << name << "{" << inst << ",quantile=\"1\"} "
+       << fmt_double(s.count() ? s.max() : 0.0) << "\n"
+       << name << "_sum{" << inst << "} " << fmt_double(s.sum()) << "\n"
+       << name << "_count{" << inst << "} " << s.count() << "\n";
+  }
+}
+
+namespace {
+
+/// Splits `labels` (the text between the braces) at top-level commas,
+/// honouring quoted values with backslash escapes, and rebuilds it
+/// without the instance label. Returns false on malformed label text.
+bool strip_instance_label(std::string_view labels, std::string& rest) {
+  rest.clear();
+  std::size_t start = 0;
+  bool in_quotes = false, escaped = false;
+  const auto flush = [&](std::size_t end) {
+    std::string_view one = labels.substr(start, end - start);
+    if (one.substr(0, 9) != "instance=") {
+      if (!rest.empty()) rest += ',';
+      rest += one;
+    }
+  };
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const char c = labels[i];
+    if (escaped) {
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_quotes = !in_quotes;
+    } else if (c == ',' && !in_quotes) {
+      flush(i);
+      start = i + 1;
+    }
+  }
+  if (in_quotes || escaped) return false;
+  flush(labels.size());
+  return true;
+}
+
+}  // namespace
+
+void parse_prometheus_text(
+    std::string_view body,
+    const std::function<void(std::string_view key, double value)>& fn) {
+  std::string key, rest;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string_view::npos) eol = body.size();
+    const std::string_view line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // `name{labels} value` or `name value`; the value is the last
+    // space-separated token (we emit no timestamps).
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string_view::npos || sp + 1 >= line.size()) continue;
+    const std::string_view value_text = line.substr(sp + 1);
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(
+        value_text.data(), value_text.data() + value_text.size(), value);
+    if (ec != std::errc{} || end != value_text.data() + value_text.size()) {
+      continue;
+    }
+    std::string_view name_part = line.substr(0, sp);
+    const std::size_t brace = name_part.find('{');
+    if (brace == std::string_view::npos) {
+      fn(name_part, value);
+      continue;
+    }
+    if (name_part.back() != '}') continue;
+    const std::string_view labels =
+        name_part.substr(brace + 1, name_part.size() - brace - 2);
+    if (!strip_instance_label(labels, rest)) continue;
+    if (rest.empty()) {
+      fn(name_part.substr(0, brace), value);
+    } else {
+      key.assign(name_part.substr(0, brace));
+      key += '{';
+      key += rest;
+      key += '}';
+      fn(key, value);
+    }
+  }
+}
+
+}  // namespace rh::obs

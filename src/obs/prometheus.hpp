@@ -1,0 +1,51 @@
+// Prometheus text-exposition rendering and parsing (format 0.0.4).
+//
+// The telemetry plane (DESIGN.md §15) serves each host's MetricsRegistry
+// over the simulated network exactly the way a production exporter would:
+// as `# TYPE`-annotated sample lines. The renderer is deterministic --
+// sections sorted by sanitized metric name, floats through fmt_double
+// (shortest round-trip form) -- so the same registry always produces the
+// same bytes, and the scraper's parse-back reconstructs every value
+// bit-for-bit. The parser is the scraper's ingestion path and
+// deliberately tolerant: it reads sample lines, strips the instance
+// label (the scraper keys series by host already), and skips comments.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace rh::obs {
+
+/// Maps a registry name onto the Prometheus metric-name alphabet
+/// [a-zA-Z0-9_:]; everything else (our dots, mostly) becomes '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Escapes a label value: backslash, double quote and newline, per the
+/// exposition format.
+[[nodiscard]] std::string prometheus_label_escape(std::string_view value);
+
+/// Renders the registry as text exposition. Every sample carries an
+/// `instance` label (the scrape target's identity, host index here).
+/// Counters/gauges are single samples; histograms emit cumulative
+/// `_bucket{le=...}` lines (non-empty buckets plus "+Inf") with `_sum`
+/// and `_count`; summaries emit `quantile="0"`/`quantile="1"` (min/max)
+/// plus `_sum` and `_count`. Sections are sorted by rendered name, so
+/// the output is a pure function of the registry's contents.
+void write_prometheus_text(std::ostream& os, const MetricsRegistry& m,
+                           std::string_view instance);
+
+/// Invokes `fn(key, value)` for every sample line in `body`. The key is
+/// the metric name plus any labels other than `instance`, rendered as
+/// `name` or `name{label="v",...}`; the value round-trips exactly for
+/// anything write_prometheus_text produced (including inf/nan). Comment
+/// and blank lines are skipped; malformed lines are ignored (a scrape
+/// of a half-crashed exporter must not take the control plane down).
+void parse_prometheus_text(
+    std::string_view body,
+    const std::function<void(std::string_view key, double value)>& fn);
+
+}  // namespace rh::obs

@@ -33,6 +33,17 @@ class LatencyHistogram {
   /// the rank). 0 when empty.
   [[nodiscard]] Duration percentile(double p) const;
 
+  /// Raw bucket access for renderers that need the full distribution
+  /// (e.g. Prometheus `_bucket{le=...}` lines): per-bucket count, the
+  /// bucket's inclusive upper bound, and the running sum of inserts.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const {
+    return buckets_[bucket];
+  }
+  [[nodiscard]] static Duration bucket_upper_bound(std::size_t bucket) {
+    return bucket_upper(bucket);
+  }
+  [[nodiscard]] double sum() const { return sum_; }
+
   void clear();
 
   /// Merges another histogram into this one.

@@ -56,6 +56,40 @@ TEST(EventRing, RecyclesTheOldestSlabAtTheCap) {
   EXPECT_EQ(first, static_cast<sim::SimTime>(obs::EventRing::kSlabEvents));
 }
 
+TEST(EventRing, RecyclingStatsMakeTraceLossObservable) {
+  obs::EventRing ring(2);
+  EXPECT_EQ(ring.slabs(), 0u);  // slabs allocate lazily
+  ring.push();
+  EXPECT_EQ(ring.slabs(), 1u);
+  EXPECT_EQ(ring.recycled_slabs(), 0u);
+  const std::size_t n = 4 * obs::EventRing::kSlabEvents;
+  for (std::size_t i = 1; i < n; ++i) ring.push();
+  EXPECT_EQ(ring.slabs(), 2u);  // bounded by the cap
+  EXPECT_EQ(ring.recycled_slabs(), 2u);
+  EXPECT_EQ(ring.dropped(), 2 * obs::EventRing::kSlabEvents);
+  ring.clear();
+  EXPECT_EQ(ring.recycled_slabs(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(Observer, MirrorsRingStatsIntoMetricsEvenWhenDisabled) {
+  obs::Observer obs;
+  obs.set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    obs.emit(i, obs::Category::kHost, obs::EventKind::kMark, "m");
+  }
+  obs.mirror_ring_stats();
+  EXPECT_EQ(obs.metrics().counter("obs.ring_events"), 3u);
+  EXPECT_EQ(obs.metrics().counter("obs.ring_dropped"), 0u);
+  EXPECT_EQ(obs.metrics().counter("obs.ring_slabs"), 1u);
+  EXPECT_EQ(obs.metrics().counter("obs.ring_recycled_slabs"), 0u);
+  // Exporters collect with emission off (scraping does not imply
+  // observing): the mirror must not be gated on enabled().
+  obs::Observer quiet;
+  quiet.mirror_ring_stats();
+  EXPECT_EQ(quiet.metrics().counter("obs.ring_events"), 0u);
+}
+
 TEST(TraceEvent, LabelIsTruncatedNotOverrun) {
   obs::TraceEvent e;
   e.set_label(std::string(100, 'x'));

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.hpp"
+#include "cluster/metrics_scraper.hpp"
 #include "cluster/session_fleet.hpp"
 #include "cluster/vm_migrator.hpp"
 #include "simcore/check.hpp"
@@ -197,16 +198,19 @@ enum class Variant {
   kObserve,
   kSharded,
   kCrashWave,
-  kCrashScale
+  kCrashScale,
+  kScrape
 };
 
 std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
   // kSharded exercises the DESIGN.md §12 control plane: shard partitions
   // between the control plane and the hosts, a batched SessionFleet pinned
   // to the shards, and a wave-based rolling pass instead of the serial one.
-  const int shards =
-      variant == Variant::kSharded || variant == Variant::kCrashScale ? 2
-                                                                      : 0;
+  const int shards = variant == Variant::kSharded ||
+                             variant == Variant::kCrashScale ||
+                             variant == Variant::kScrape
+                         ? 2
+                         : 0;
   sim::ParallelSimulation engine(
       {.partitions = static_cast<std::int32_t>(4 + shards),
        .workers = workers});
@@ -227,11 +231,13 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
     cfg.faults.vmm_crash_rate = 0.5;
     cfg.faults.vmm_hang_rate = 0.5;
   }
-  if (variant == Variant::kCrashScale) {
+  if (variant == Variant::kCrashScale || variant == Variant::kScrape) {
     // Steady in-service faults under the sharded control plane: per-host
     // SteadyFaultProcess arrivals race the wave turns, the recovery
     // drivers, the crash-evict/readmit broadcasts, and the fleet's
     // unplanned-downtime attribution across every partition boundary.
+    // kScrape layers the telemetry plane on top: scrape RPCs, timeouts
+    // and TSDB ingestion race all of the above through the mailboxes.
     cfg.faults.vmm_crash_rate = 0.5;
     cfg.faults.vmm_hang_rate = 0.25;
   }
@@ -245,7 +251,8 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
   cluster::ClusterClientFleet fleet(engine.partition(0), cl.balancer(),
                                     {.connections = 8});
   std::unique_ptr<cluster::SessionFleet> sessions;
-  if (variant == Variant::kSharded || variant == Variant::kCrashScale) {
+  if (variant == Variant::kSharded || variant == Variant::kCrashScale ||
+      variant == Variant::kScrape) {
     sessions = std::make_unique<cluster::SessionFleet>(
         *cl.sharded_balancer(),
         cluster::SessionFleet::Config{
@@ -258,12 +265,22 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
   } else {
     engine.run_on(0, [&fleet] { fleet.start(); });
   }
-  if (variant == Variant::kCrashScale) {
+  if (variant == Variant::kCrashScale || variant == Variant::kScrape) {
     cluster::Cluster::SteadyFaultsConfig sfc;
     sfc.process.check_interval = sim::kSecond;
     sfc.supervisor.micro.enabled = true;
     sfc.supervisor.micro.success_rate = 0.7;
     cl.start_steady_faults(sfc);
+  }
+  if (variant == Variant::kScrape) {
+    cluster::Cluster::ScrapeConfig sc;
+    sc.interval = 2 * sim::kSecond;
+    sc.timeout = 500 * sim::kMillisecond;
+    // Keep the burn-rate gate armed but out of the way: with crashes this
+    // frequent a production threshold would pause the pass indefinitely,
+    // and this test is about bitwise invariance, not gating policy.
+    sc.slo.pause_burn_rate = 50.0;
+    cl.start_scraping(sc);
   }
   engine.run_until(engine.partition(0).now() + 10 * sim::kSecond);
 
@@ -280,11 +297,16 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
       cl.rolling_rejuvenation_waves(
           wcfg, [&done](const cluster::Cluster::WaveReport&) { done = true; });
     });
-  } else if (variant == Variant::kCrashScale) {
-    engine.run_on(0, [&cl, &done] {
+  } else if (variant == Variant::kCrashScale || variant == Variant::kScrape) {
+    engine.run_on(0, [&cl, &done, variant] {
       cluster::Cluster::WaveConfig wcfg;
       wcfg.wave_size = 2;
       wcfg.max_concurrent_down = 2;  // crash-down hosts count against this
+      if (variant == Variant::kScrape) {
+        // Production-shaped: the pass orders hosts from the scraped TSDB
+        // alone, never probing host partitions for signals.
+        wcfg.signals = cluster::Cluster::WaveSignalSource::kScraped;
+      }
       cl.rolling_rejuvenation_waves(
           wcfg, [&done](const cluster::Cluster::WaveReport&) { done = true; });
     });
@@ -345,7 +367,8 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
       }
     }
   }
-  if (variant == Variant::kSharded || variant == Variant::kCrashScale) {
+  if (variant == Variant::kSharded || variant == Variant::kCrashScale ||
+      variant == Variant::kScrape) {
     d.mix(cl.sharded_balancer()->state_digest());
     d.mix(sessions->state_digest());
     const auto& report = cl.last_wave_report();
@@ -357,7 +380,7 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
       for (const auto h : w.hosts) d.mix(h);
     }
   }
-  if (variant == Variant::kCrashScale) {
+  if (variant == Variant::kCrashScale || variant == Variant::kScrape) {
     const auto& report = cl.last_wave_report();
     d.mix(report.admission_pauses);
     d.mix(report.deferred_turns);
@@ -371,6 +394,11 @@ std::uint64_t cluster_digest(std::size_t workers, Variant variant) {
     d.mix(un.unrecovered);
     d.mix(static_cast<std::uint64_t>(un.downtime));
     d.mix(cl.sharded_balancer()->crash_broadcasts());
+  }
+  if (variant == Variant::kScrape) {
+    // The full telemetry plane: TSDB ring contents, SLO window, per-host
+    // scrape outcomes, flight records, detection histogram.
+    d.mix(cl.scraper()->state_digest());
   }
   for (int h = 0; h < cfg.hosts; ++h) {
     d.mix(cl.host(h).obs().spans().records().size());
@@ -393,7 +421,8 @@ INSTANTIATE_TEST_SUITE_P(Fig9Topology, PdesClusterDigestGrid,
                          ::testing::Values(Variant::kPlain, Variant::kFaults,
                                            Variant::kObserve, Variant::kSharded,
                                            Variant::kCrashWave,
-                                           Variant::kCrashScale),
+                                           Variant::kCrashScale,
+                                           Variant::kScrape),
                          [](const auto& info) {
                            switch (info.param) {
                              case Variant::kPlain: return "plain";
@@ -402,6 +431,7 @@ INSTANTIATE_TEST_SUITE_P(Fig9Topology, PdesClusterDigestGrid,
                              case Variant::kSharded: return "sharded";
                              case Variant::kCrashWave: return "crashwave";
                              case Variant::kCrashScale: return "crashscale";
+                             case Variant::kScrape: return "scrape";
                            }
                            return "unknown";
                          });
